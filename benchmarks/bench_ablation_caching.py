@@ -1,0 +1,61 @@
+"""Extended ablations: eviction policy, fragment prefetch, traffic skew,
+and partition granularity (DESIGN.md's committed design-choice studies)."""
+
+from conftest import run_once
+
+from repro.analysis.report import render_table
+from repro.experiments.ablations import (
+    run_eviction_ablation,
+    run_partition_granularity,
+    run_prefetch_ablation,
+    run_zipf_sensitivity,
+)
+
+
+def test_ablation_eviction_policy(benchmark, archive):
+    result = run_once(benchmark, run_eviction_ablation, flows=400)
+    archive(
+        result.name,
+        render_table(result.table_headers, result.table_rows, title=result.title),
+    )
+    rates = {row[0]: float(row[1]) for row in result.table_rows}
+    # All policies function; none collapses.
+    assert all(rate > 0.1 for rate in rates.values())
+
+
+def test_ablation_prefetch(benchmark, archive):
+    result = run_once(benchmark, run_prefetch_ablation, flows=400)
+    archive(
+        result.name,
+        render_table(result.table_headers, result.table_rows, title=result.title),
+    )
+    redirects = result.series_by_label("redirects")
+    installs = result.series_by_label("cache installs")
+    # Prefetching trades install volume for redirects.
+    assert redirects.y[-1] < redirects.y[0]
+    assert installs.y[-1] > installs.y[0]
+
+
+def test_ablation_zipf_sensitivity(benchmark, archive):
+    result = run_once(benchmark, run_zipf_sensitivity)
+    archive(
+        result.name,
+        render_table(result.table_headers, result.table_rows, title=result.title),
+    )
+    wildcard = result.series_by_label("DIFANE wildcard cache")
+    microflow = result.series_by_label("microflow cache")
+    # The wildcard advantage holds at every skew, and both improve with it.
+    for w, m in zip(wildcard.y, microflow.y):
+        assert w < m
+    assert wildcard.y[-1] < wildcard.y[0]
+
+
+def test_ablation_partition_granularity(benchmark, archive):
+    result = run_once(benchmark, run_partition_granularity)
+    archive(
+        result.name,
+        render_table(result.table_headers, result.table_rows, title=result.title),
+    )
+    overhead = result.series_by_label("duplication factor")
+    # Finer granularity costs monotone split overhead.
+    assert all(a <= b + 1e-9 for a, b in zip(overhead.y, overhead.y[1:]))

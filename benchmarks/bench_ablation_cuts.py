@@ -1,0 +1,32 @@
+"""E10 (ablation): split-aware cut selection vs naive balance-only cuts.
+
+DESIGN.md calls out the partitioner's cut heuristic as the load-bearing
+design choice; this ablation quantifies it on a ClassBench ACL.
+"""
+
+from conftest import run_once
+
+from repro.analysis.report import render_table, render_series_table
+from repro.experiments.partitioning import run_cut_ablation
+from repro.flowspace.fields import FIVE_TUPLE_LAYOUT
+from repro.workloads.classbench import generate_classbench
+
+
+def test_ablation_cut_strategies(benchmark, archive):
+    policy = generate_classbench("acl", count=2000, seed=13, layout=FIVE_TUPLE_LAYOUT)
+    result = run_once(
+        benchmark,
+        run_cut_ablation,
+        partition_counts=[2, 4, 8, 16, 32, 64],
+        policy=policy,
+    )
+    text = render_series_table(result.series, title=result.title)
+    text += "\n\n" + render_table(result.table_headers, result.table_rows)
+    archive(result.name, text)
+
+    aware = result.series_by_label("split-aware")
+    naive = result.series_by_label("occupancy")
+    for a, n in zip(aware.y, naive.y):
+        assert a <= n
+    # At high partition counts the gap should be substantial.
+    assert aware.y[-1] < naive.y[-1]

@@ -1,0 +1,23 @@
+"""E4: first-packet delay — DIFANE's data-plane detour vs NOX's controller RTT.
+
+Paper claim: ≈0.4 ms first-packet delay for DIFANE vs ≈10 ms for NOX;
+subsequent packets identical.
+"""
+
+from conftest import run_once
+
+from repro.analysis.report import render_table
+from repro.experiments.delay import run_delay
+
+
+def test_fig_first_packet_delay(benchmark, archive):
+    result = run_once(benchmark, run_delay, flows=300)
+    archive(
+        result.name,
+        render_table(result.table_headers, result.table_rows, title=result.title),
+    )
+    difane_first = result.notes["difane_first_median_ms"]
+    nox_first = result.notes["nox_first_median_ms"]
+    assert difane_first < 1.0
+    assert nox_first > 5.0
+    assert nox_first / difane_first > 10.0

@@ -1,0 +1,23 @@
+"""A6: the failover transient — replication makes authority death lossless.
+
+Paper §4.3 claim made quantitative: with replicated partitions and
+backup-carrying partition rules, an authority switch crash under load
+loses zero packets (ingress switches fail over in the data plane), while
+an unreplicated design drops every redirect until the controller repairs
+the partition mapping.
+"""
+
+from conftest import run_once
+
+from repro.analysis.report import render_table
+from repro.experiments.failover import run_failover_transient
+
+
+def test_fig_failover_transient(benchmark, archive):
+    result = run_once(benchmark, run_failover_transient)
+    archive(
+        result.name,
+        render_table(result.table_headers, result.table_rows, title=result.title),
+    )
+    assert result.notes["replicated_drops"] == 0
+    assert result.notes["repair_drops"] > 0

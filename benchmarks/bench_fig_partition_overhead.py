@@ -1,0 +1,28 @@
+"""E6: rule-splitting overhead vs number of partitions.
+
+Paper claim: the duplication caused by rules straddling partition
+boundaries grows slowly (sub-linearly) with the partition count.
+"""
+
+from conftest import run_once
+
+from repro.analysis.report import render_series_table
+from repro.experiments.partitioning import default_policies, run_partition_overhead
+
+
+def test_fig_partition_split_overhead(benchmark, archive):
+    policies = default_policies(scale=2)
+    result = run_once(
+        benchmark,
+        run_partition_overhead,
+        partition_counts=[1, 2, 4, 8, 16, 32, 64],
+        policies=policies,
+    )
+    archive(result.name, render_series_table(result.series, title=result.title))
+
+    for series in result.series:
+        assert series.y[0] == 1.0  # one partition: no duplication
+        # Sub-linear: 64 partitions cost far less than 64x entries.
+        assert series.y[-1] < 8.0
+        # Monotone non-decreasing in k.
+        assert all(a <= b + 1e-9 for a, b in zip(series.y, series.y[1:]))

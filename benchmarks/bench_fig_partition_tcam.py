@@ -1,0 +1,27 @@
+"""E5: TCAM entries per authority switch vs number of partitions.
+
+Paper claim: per-switch authority TCAM usage falls ≈N/k as partitions are
+added, so modest-TCAM switches can host large policies collectively.
+"""
+
+from conftest import run_once
+
+from repro.analysis.report import render_series_table, render_table
+from repro.experiments.partitioning import default_policies, run_partition_tcam
+
+
+def test_fig_partition_tcam_usage(benchmark, archive):
+    policies = default_policies(scale=2)
+    result = run_once(
+        benchmark,
+        run_partition_tcam,
+        partition_counts=[1, 2, 4, 8, 16, 32, 64],
+        policies=policies,
+    )
+    text = render_series_table(result.series, title=result.title)
+    text += "\n\n" + render_table(result.table_headers, result.table_rows)
+    archive(result.name, text)
+
+    for series in result.series:
+        # Max per-partition footprint must fall dramatically with k.
+        assert series.y[-1] < series.y[0] / 4

@@ -1,0 +1,28 @@
+"""E3: flow-setup throughput scales with the number of authority switches.
+
+Paper claim: aggregate DIFANE setup capacity grows ≈linearly in k while
+NOX stays pinned at one controller's rate.
+"""
+
+from conftest import run_once
+
+from repro.analysis.report import render_series_table
+from repro.experiments.scaling import run_scaling
+
+
+def test_fig_scaling_with_authority_switches(benchmark, archive):
+    result = run_once(
+        benchmark,
+        run_scaling,
+        authority_counts=[1, 2, 3, 4],
+        flows_per_point=1200,
+        scale=0.01,
+    )
+    archive(result.name, render_series_table(result.series, title=result.title))
+
+    difane = result.series_by_label("DIFANE")
+    nox = result.series_by_label("NOX")
+    # Near-linear growth: 4 switches give at least 3x one switch.
+    assert difane.y[-1] > 3.0 * difane.y[0]
+    # NOX is flat within noise.
+    assert max(nox.y) < 1.3 * min(nox.y)

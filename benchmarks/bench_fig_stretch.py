@@ -1,0 +1,32 @@
+"""E8: path stretch of cache-miss packets under authority placements.
+
+Paper claim: the first-packet detour through an authority switch costs
+modest stretch, and informed placement (centrality) reduces it.
+"""
+
+from conftest import run_once
+
+from repro.analysis.report import render_table
+from repro.experiments.stretch import run_stretch
+
+
+def test_fig_stretch_by_placement(benchmark, archive):
+    result = run_once(
+        benchmark,
+        run_stretch,
+        strategies=["random", "degree", "central", "spread"],
+        authority_count=4,
+        switch_count=32,
+        flows=800,
+    )
+    archive(
+        result.name,
+        render_table(result.table_headers, result.table_rows, title=result.title),
+    )
+
+    rows = {row[0]: (float(row[1]), float(row[2])) for row in result.table_rows}
+    # Central placement beats (or ties) random on mean stretch.
+    assert rows["central"][1] <= rows["random"][1] * 1.1
+    # Stretch is modest in every strategy.
+    for median, mean in rows.values():
+        assert median < 3.0

@@ -1,0 +1,30 @@
+"""E2: flow-setup throughput — one authority switch vs the NOX controller.
+
+Paper claim: DIFANE sustains ≈800K single-packet flows/s through one
+authority switch while a NOX-style controller saturates around 50K/s.
+"""
+
+import pytest
+from conftest import run_once
+
+from repro.analysis.report import render_series_table
+from repro.experiments.throughput import run_throughput
+
+
+def test_fig_throughput_difane_vs_nox(benchmark, archive):
+    result = run_once(
+        benchmark,
+        run_throughput,
+        rates=[25e3, 50e3, 100e3, 200e3, 400e3, 800e3, 1.2e6],
+        flows_per_point=1500,
+        scale=0.01,
+    )
+    archive(result.name, render_series_table(result.series, title=result.title))
+
+    difane = result.series_by_label("DIFANE")
+    nox = result.series_by_label("NOX")
+    # The paper's shape: NOX flat at its controller capacity, DIFANE an
+    # order of magnitude above.
+    assert nox.y[-1] == pytest.approx(50e3, rel=0.3)
+    assert difane.y[-1] == pytest.approx(800e3, rel=0.3)
+    assert difane.y[-1] > 10 * nox.y[-1]

@@ -1,0 +1,143 @@
+"""Performance microbenchmarks of the core data structures & algorithms.
+
+Unlike the figure benches (single-shot experiments), these are real
+microbenchmarks: pytest-benchmark runs them repeatedly and reports
+statistically meaningful timings.  They guard the hot paths:
+
+* ternary set operations (the inner loop of everything),
+* rule-table lookup on a ClassBench classifier,
+* per-miss cache-rule generation (the authority switch's critical path),
+* the full partitioner on a 10K-rule policy.
+"""
+
+import random
+
+import pytest
+
+from repro.core import generate_cache_rule, partition_policy
+from repro.flowspace import RuleTable, Ternary
+from repro.flowspace.fields import FIVE_TUPLE_LAYOUT
+from repro.workloads.classbench import generate_classbench
+
+LAYOUT = FIVE_TUPLE_LAYOUT
+
+
+@pytest.fixture(scope="module")
+def classifier():
+    return generate_classbench("acl", count=2000, seed=17, layout=LAYOUT)
+
+
+@pytest.fixture(scope="module")
+def lookup_table(classifier):
+    return RuleTable(LAYOUT, classifier)
+
+
+def _random_ternary(rng, width):
+    mask = rng.getrandbits(width)
+    return Ternary(rng.getrandbits(width) & mask, mask, width)
+
+
+def test_perf_ternary_intersection(benchmark):
+    rng = random.Random(0)
+    width = LAYOUT.width
+    pairs = [
+        (_random_ternary(rng, width), _random_ternary(rng, width))
+        for _ in range(256)
+    ]
+
+    def run():
+        total = 0
+        for a, b in pairs:
+            if a.intersects(b):
+                total += 1
+        return total
+
+    benchmark(run)
+
+
+def test_perf_ternary_subtract(benchmark):
+    rng = random.Random(1)
+    width = LAYOUT.width
+    pairs = []
+    while len(pairs) < 64:
+        a = _random_ternary(rng, width)
+        b = _random_ternary(rng, width)
+        if a.intersects(b):
+            pairs.append((a, b))
+
+    benchmark(lambda: [a.subtract(b) for a, b in pairs])
+
+
+def test_perf_table_lookup(benchmark, classifier, lookup_table):
+    rng = random.Random(2)
+    probes = [rule.match.ternary.sample(rng) for rule in classifier[:512]]
+
+    def run():
+        hits = 0
+        for bits in probes:
+            if lookup_table.lookup_bits(bits) is not None:
+                hits += 1
+        return hits
+
+    result = benchmark(run)
+    assert result == len(probes)  # the classifier has a catch-all
+
+
+def test_perf_cache_rule_generation(benchmark, classifier, lookup_table):
+    """Per-miss cost at an authority switch (win-fragment walk)."""
+    rng = random.Random(3)
+    ordered = list(lookup_table.rules)
+    cases = []
+    while len(cases) < 64:
+        bits = rng.getrandbits(LAYOUT.width)
+        winner = lookup_table.lookup_bits(bits)
+        if winner is not None:
+            cases.append((winner, bits))
+
+    def run():
+        produced = 0
+        for winner, bits in cases:
+            if generate_cache_rule(ordered, winner, bits) is not None:
+                produced += 1
+        return produced
+
+    result = benchmark(run)
+    assert result == len(cases)
+
+
+def test_perf_tuple_space_vs_linear(benchmark, classifier, lookup_table):
+    """Tuple-space search vs linear scan on the same probes.
+
+    The benchmark times the tuple-space lookups; the assertion verifies
+    winner-for-winner equivalence with the linear table on the side.
+    """
+    from repro.flowspace.tuplespace import TupleSpaceTable
+
+    tss = TupleSpaceTable(LAYOUT, classifier)
+    rng = random.Random(4)
+    probes = [rule.match.ternary.sample(rng) for rule in classifier[:512]]
+
+    def run():
+        winners = 0
+        for bits in probes:
+            if tss.lookup_bits(bits) is not None:
+                winners += 1
+        return winners
+
+    result = benchmark(run)
+    assert result == len(probes)
+    for bits in probes[:64]:
+        assert tss.lookup_bits(bits) is lookup_table.lookup_bits(bits)
+
+
+def test_perf_partitioner_10k(benchmark):
+    """Partition a 10K-rule classifier into 64 leaves (controller path)."""
+    policy = generate_classbench("acl", count=10_000, seed=19, layout=LAYOUT)
+
+    result = benchmark.pedantic(
+        lambda: partition_policy(policy, LAYOUT, num_partitions=64),
+        rounds=1,
+        iterations=1,
+    )
+    assert len(result.partitions) == 64
+    assert result.duplication_factor < 8.0

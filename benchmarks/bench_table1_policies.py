@@ -1,0 +1,17 @@
+"""E1 (Table 1): characteristics of the evaluated policies."""
+
+from conftest import run_once
+
+from repro.analysis.report import render_table
+from repro.experiments.partitioning import default_policies
+from repro.experiments.policies import run_policy_table
+
+
+def test_table1_policy_characteristics(benchmark, archive):
+    policies = default_policies(scale=2)
+    result = run_once(benchmark, run_policy_table, policies)
+    archive(
+        result.name,
+        render_table(result.table_headers, result.table_rows, title=result.title),
+    )
+    assert len(result.table_rows) == len(policies)

@@ -1,0 +1,28 @@
+"""E9: per-event management cost of network dynamics (paper §4).
+
+Paper claims made measurable: policy updates touch only overlapping
+partitions; host mobility flushes only the stale cache entries; link
+failures move **zero** rules; authority failover re-points partition
+rules to backups — all while the policy's semantics stay exact.
+"""
+
+from conftest import run_once
+
+from repro.analysis.report import render_table
+from repro.experiments.dynamics import run_dynamics
+
+
+def test_table_dynamics_costs(benchmark, archive):
+    result = run_once(benchmark, run_dynamics, churn_steps=60, warm_flows=200)
+    archive(
+        result.name,
+        render_table(result.table_headers, result.table_rows, title=result.title),
+    )
+
+    assert result.notes["mismatches"] == 0
+    rows = {row[0]: row for row in result.table_rows}
+    # Link failure: zero control messages, zero cache flushes.
+    assert rows["link failure"][3] == "0"
+    assert rows["link failure"][4] == "0"
+    # Inserts touch only a few partitions on average.
+    assert float(rows["rule insert"][2]) < 6.0

@@ -1,0 +1,33 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark regenerates one of the paper's tables/figures, times the
+run via pytest-benchmark (one round — these are experiments, not
+microbenchmarks), prints the rows/series, and archives them under
+``benchmarks/results/`` so EXPERIMENTS.md can reference a stable copy.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def archive():
+    """Return a writer: archive(name, text) prints and persists the text."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def write(name: str, text: str) -> None:
+        print()
+        print(text)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return write
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run ``func`` exactly once under the benchmark timer."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,123 @@
+#!/usr/bin/env python
+"""Scenario: network dynamics on a live DIFANE campus (paper §4).
+
+Runs a replicated DIFANE deployment through the full dynamics gauntlet
+while traffic keeps flowing:
+
+1. warm traffic populates the ingress caches;
+2. the operator inserts an emergency block rule (policy change);
+3. a host roams to a different access switch (mobility);
+4. a core link dies (topology change — zero rules move);
+5. an authority switch fails and its partitions fail over to backups.
+
+After every event the script verifies traffic still flows and reports the
+management cost the controller paid.
+
+Run:  python examples/campus_failover.py
+"""
+
+from repro import (
+    DifaneNetwork,
+    Drop,
+    FIVE_TUPLE_LAYOUT,
+    Match,
+    Rule,
+    Ternary,
+    TopologyBuilder,
+    routing_policy_for_topology,
+)
+from repro.workloads.traffic import host_pair_packets
+
+LAYOUT = FIVE_TUPLE_LAYOUT
+
+
+def pump_traffic(net, topo, host_ips, seed, flows=120):
+    """Send a burst of flows; return (delivered, dropped) counts."""
+    before = len(net.network.deliveries)
+    start = net.network.scheduler.now
+    for timed in host_pair_packets(
+        topo, host_ips, LAYOUT, count=flows, rate=5000.0,
+        seed=seed, flow_packets=2,
+    ):
+        net.send_at(start + timed.time, timed.source_host, timed.packet)
+    net.run()
+    new = net.network.deliveries[before:]
+    return (sum(1 for r in new if r.delivered),
+            sum(1 for r in new if not r.delivered))
+
+
+def main():
+    topo = TopologyBuilder.three_tier_campus(
+        core_count=2, distribution_count=3,
+        access_per_distribution=3, hosts_per_access=2,
+    )
+    rules, host_ips = routing_policy_for_topology(topo, LAYOUT, acl_rules=10)
+    net = DifaneNetwork.build(
+        topo, rules, LAYOUT,
+        authority_count=3, replication=2, cache_capacity=256,
+    )
+    controller = net.controller
+    print(f"deployed: {len(controller.partitions())} partitions over "
+          f"{controller.authority_switches} (replication=2)\n")
+
+    delivered, dropped = pump_traffic(net, topo, host_ips, seed=1)
+    print(f"[warmup]            delivered={delivered} dropped={dropped} "
+          f"cache-hit={net.cache_hit_rate():.1%}")
+
+    # --- policy change: block SSH to one host -----------------------------
+    victim = topo.hosts()[3]
+    block = Rule(
+        Match.build(LAYOUT,
+                    nw_dst=Ternary.exact(host_ips[victim], 32),
+                    nw_proto=Ternary.exact(6, 8),
+                    tp_dst=Ternary.exact(22, 16)),
+        priority=1_000_000,
+        actions=Drop(),
+    )
+    messages = controller.control_messages
+    affected = controller.insert_rule(block)
+    print(f"[policy change]     blocked ssh->{victim}: "
+          f"{affected} partitions touched, "
+          f"{controller.control_messages - messages} control messages")
+    delivered, dropped = pump_traffic(net, topo, host_ips, seed=2)
+    print(f"                    traffic after change: delivered={delivered} "
+          f"dropped={dropped}")
+
+    # --- host mobility ------------------------------------------------------
+    mover = topo.hosts()[0]
+    new_home = next(s for s in topo.edge_switches()
+                    if s != topo.host_attachment(mover))
+    flushed = controller.handle_host_move(mover, new_home)
+    print(f"[host mobility]     {mover} -> {new_home}: "
+          f"{flushed} stale cache entries flushed")
+    delivered, dropped = pump_traffic(net, topo, host_ips, seed=3)
+    print(f"                    traffic after move: delivered={delivered} "
+          f"dropped={dropped}")
+
+    # --- link failure ---------------------------------------------------------
+    messages = controller.control_messages
+    controller.handle_link_failure("core0", "core1")
+    print(f"[link failure]      core0-core1 down: "
+          f"{controller.control_messages - messages} control messages, "
+          f"0 rules moved (routing reconverged)")
+    delivered, dropped = pump_traffic(net, topo, host_ips, seed=4)
+    print(f"                    traffic after failure: delivered={delivered} "
+          f"dropped={dropped}")
+
+    # --- authority failover ------------------------------------------------------
+    failed = controller.authority_switches[0]
+    messages = controller.control_messages
+    repointed = controller.handle_authority_failure(failed)
+    print(f"[authority failure] {failed} died: {repointed} partitions failed "
+          f"over to backups ({controller.control_messages - messages} messages)")
+    delivered, dropped = pump_traffic(net, topo, host_ips, seed=5)
+    print(f"                    traffic after failover: delivered={delivered} "
+          f"dropped={dropped}")
+
+    print(f"\ntotal management cost: {controller.control_messages} control "
+          f"messages, {controller.cache_entries_flushed} cache flushes")
+    print("no packet ever waited on the controller.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Quickstart: a complete DIFANE deployment in ~40 lines.
+
+Builds a small campus topology, synthesizes a routing policy for its
+hosts, deploys DIFANE with two authority switches, pushes some traffic
+through, and prints what happened: where rules live, which packets
+detoured through an authority switch, and the ingress cache hit rate.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    DifaneNetwork,
+    FIVE_TUPLE_LAYOUT,
+    TopologyBuilder,
+    routing_policy_for_topology,
+)
+from repro.workloads.traffic import host_pair_packets
+
+
+def main():
+    # 1. A three-tier campus: 2 core, 2 distribution, 4 access switches.
+    topo = TopologyBuilder.three_tier_campus(
+        core_count=2, distribution_count=2,
+        access_per_distribution=2, hosts_per_access=2,
+    )
+    print(f"topology: {topo}")
+
+    # 2. A policy: one routing rule per host plus a default deny.
+    rules, host_ips = routing_policy_for_topology(topo, FIVE_TUPLE_LAYOUT)
+    print(f"policy: {len(rules)} rules")
+
+    # 3. Deploy DIFANE: the controller partitions the flow space over two
+    #    authority switches and installs partition rules everywhere.
+    net = DifaneNetwork.build(
+        topo, rules, FIVE_TUPLE_LAYOUT,
+        authority_count=2, cache_capacity=64,
+    )
+    print(f"authority switches: {net.controller.authority_switches}")
+    print(f"partitions: {len(net.controller.partitions())}")
+
+    # 4. Traffic: 100 flows of 3 packets between random host pairs.
+    for timed in host_pair_packets(
+        topo, host_ips, FIVE_TUPLE_LAYOUT,
+        count=100, rate=2000.0, seed=1, flow_packets=3,
+    ):
+        net.send_at(timed.time, timed.source_host, timed.packet)
+    net.run()
+
+    # 5. What happened?
+    delivered = net.network.delivered()
+    detoured = sum(1 for r in delivered if r.via_authority)
+    print(f"\ndelivered {len(delivered)} packets "
+          f"({detoured} took the authority-switch detour)")
+    print(f"ingress cache hit rate: {net.cache_hit_rate():.1%}")
+    print(f"packets punted to the controller: "
+          f"{sum(1 for r in delivered if r.via_controller)}  <- always 0 in DIFANE")
+
+    print("\nper-switch TCAM entries (cache / authority / partition):")
+    for name, entry in sorted(net.tcam_report().items()):
+        print(f"  {name:8s} {entry['cache']:4d} / {entry['authority']:4d} "
+              f"/ {entry['partition']:4d}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+"""Minimal ASCII line plots for figure series.
+
+The benchmark harness archives numeric tables; the CLI additionally
+renders a quick terminal plot so the *shape* of each figure (saturation
+knees, crossovers, linear scaling) is visible without leaving the shell.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+from repro.analysis.series import Series
+
+__all__ = ["ascii_plot"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def ascii_plot(
+    series_list: Sequence[Series],
+    width: int = 64,
+    height: int = 16,
+    title: Optional[str] = None,
+    log_x: bool = False,
+) -> str:
+    """Render series as an ASCII scatter/line chart.
+
+    Each series gets a marker; the legend maps markers to labels.  Axes
+    are linearly scaled (optionally log-x for rate sweeps).
+    """
+    populated = [s for s in series_list if len(s)]
+    if not populated:
+        return title or "(no data)"
+
+    def x_of(value: float) -> float:
+        """Map an x value onto the (optionally log) axis."""
+        if log_x:
+            return math.log10(value) if value > 0 else 0.0
+        return value
+
+    xs = [x_of(x) for s in populated for x in s.x]
+    ys = [y for s in populated for y in s.y]
+    x_low, x_high = min(xs), max(xs)
+    y_low, y_high = min(ys), max(ys)
+    x_span = (x_high - x_low) or 1.0
+    y_span = (y_high - y_low) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, series in enumerate(populated):
+        marker = _MARKERS[index % len(_MARKERS)]
+        for x, y in zip(series.x, series.y):
+            column = int((x_of(x) - x_low) / x_span * (width - 1))
+            row = int((y - y_low) / y_span * (height - 1))
+            grid[height - 1 - row][column] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    y_label = populated[0].y_label
+    lines.append(f"{y_high:>12.4g} ┤" + "".join(grid[0]))
+    for row in grid[1:-1]:
+        lines.append(" " * 12 + " │" + "".join(row))
+    lines.append(f"{y_low:>12.4g} ┤" + "".join(grid[-1]))
+    lines.append(" " * 13 + "└" + "─" * width)
+    x_axis_label = populated[0].x_label + (" (log)" if log_x else "")
+    left = f"{(10 ** x_low if log_x else x_low):.4g}"
+    right = f"{(10 ** x_high if log_x else x_high):.4g}"
+    lines.append(" " * 14 + left + " " * max(1, width - len(left) - len(right)) + right)
+    lines.append(" " * 14 + f"[{x_axis_label}]  y: {y_label}")
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {s.label}" for i, s in enumerate(populated)
+    )
+    lines.append(" " * 14 + legend)
+    return "\n".join(lines)

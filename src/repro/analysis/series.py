@@ -1,0 +1,54 @@
+"""A labelled (x, y) data series — the unit every figure experiment returns."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["Series"]
+
+
+@dataclass
+class Series:
+    """One curve of a figure.
+
+    Attributes
+    ----------
+    label:
+        Legend entry, e.g. ``"DIFANE"`` or ``"cover-set"``.
+    x / y:
+        Paired coordinates.
+    x_label / y_label:
+        Axis names for rendering.
+    meta:
+        Free-form extras (parameters used, notes).
+    """
+
+    label: str
+    x: List[float] = field(default_factory=list)
+    y: List[float] = field(default_factory=list)
+    x_label: str = "x"
+    y_label: str = "y"
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    def append(self, x: float, y: float) -> None:
+        """Add one point."""
+        self.x.append(float(x))
+        self.y.append(float(y))
+
+    def points(self) -> List[Tuple[float, float]]:
+        """All points as tuples."""
+        return list(zip(self.x, self.y))
+
+    def y_at(self, x: float) -> Optional[float]:
+        """The y value at an exact x, or ``None``."""
+        for xi, yi in zip(self.x, self.y):
+            if xi == x:
+                return yi
+        return None
+
+    def __len__(self) -> int:
+        return len(self.x)
+
+    def __repr__(self) -> str:
+        return f"Series({self.label!r}, {len(self.x)} points)"

@@ -1,0 +1,64 @@
+"""Statistical helpers: CDFs, percentiles, summaries."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["cdf", "percentile", "summarize", "Summary"]
+
+
+def cdf(values: Sequence[float]) -> List[Tuple[float, float]]:
+    """The empirical CDF of ``values`` as sorted ``(value, fraction)`` points."""
+    if not len(values):
+        return []
+    ordered = np.sort(np.asarray(values, dtype=np.float64))
+    n = len(ordered)
+    return [(float(v), (i + 1) / n) for i, v in enumerate(ordered)]
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile (0–100) of ``values``."""
+    if not len(values):
+        raise ValueError("percentile of empty sequence")
+    if not 0 <= q <= 100:
+        raise ValueError(f"percentile must be in [0, 100], got {q}")
+    return float(np.percentile(np.asarray(values, dtype=np.float64), q))
+
+
+@dataclass
+class Summary:
+    """Five-number-ish summary of a sample."""
+
+    count: int
+    mean: float
+    median: float
+    p95: float
+    p99: float
+    minimum: float
+    maximum: float
+
+    def __str__(self) -> str:
+        return (
+            f"n={self.count} mean={self.mean:.6g} median={self.median:.6g} "
+            f"p95={self.p95:.6g} p99={self.p99:.6g} "
+            f"min={self.minimum:.6g} max={self.maximum:.6g}"
+        )
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Summary statistics of ``values`` (raises on empty input)."""
+    if not len(values):
+        raise ValueError("summarize of empty sequence")
+    array = np.asarray(values, dtype=np.float64)
+    return Summary(
+        count=len(array),
+        mean=float(array.mean()),
+        median=float(np.median(array)),
+        p95=float(np.percentile(array, 95)),
+        p99=float(np.percentile(array, 99)),
+        minimum=float(array.min()),
+        maximum=float(array.max()),
+    )

@@ -1,0 +1,170 @@
+"""Command-line interface: run any reproduced experiment from the shell.
+
+Usage::
+
+    python -m repro.cli list
+    python -m repro.cli run E2            # full-size experiment
+    python -m repro.cli run E5 --quick    # scaled-down version
+    python -m repro.cli run all --quick
+
+Each run prints the experiment's table and/or an ASCII rendering of its
+figure, mirroring what the benchmark harness archives under
+``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict, Tuple
+
+from repro.analysis.asciiplot import ascii_plot
+from repro.analysis.report import render_series_table, render_table
+from repro.experiments.common import ExperimentResult
+
+__all__ = ["main"]
+
+
+def _e1(quick: bool) -> ExperimentResult:
+    from repro.experiments.partitioning import default_policies
+    from repro.experiments.policies import run_policy_table
+    return run_policy_table(default_policies(scale=1 if quick else 2))
+
+
+def _e2(quick: bool) -> ExperimentResult:
+    from repro.experiments.throughput import run_throughput
+    rates = [25e3, 200e3, 1.2e6] if quick else None
+    return run_throughput(rates=rates, flows_per_point=400 if quick else 1500)
+
+
+def _e3(quick: bool) -> ExperimentResult:
+    from repro.experiments.scaling import run_scaling
+    return run_scaling(
+        authority_counts=[1, 2] if quick else [1, 2, 3, 4],
+        flows_per_point=500 if quick else 1200,
+    )
+
+
+def _e4(quick: bool) -> ExperimentResult:
+    from repro.experiments.delay import run_delay
+    return run_delay(flows=60 if quick else 300)
+
+
+def _e5(quick: bool) -> ExperimentResult:
+    from repro.experiments.partitioning import default_policies, run_partition_tcam
+    return run_partition_tcam(
+        partition_counts=[1, 4, 16] if quick else None,
+        policies=default_policies(scale=1 if quick else 2),
+    )
+
+
+def _e6(quick: bool) -> ExperimentResult:
+    from repro.experiments.partitioning import default_policies, run_partition_overhead
+    return run_partition_overhead(
+        partition_counts=[1, 4, 16] if quick else None,
+        policies=default_policies(scale=1 if quick else 2),
+    )
+
+
+def _e7(quick: bool) -> ExperimentResult:
+    from repro.experiments.caching import run_cache_miss
+    if quick:
+        return run_cache_miss(cache_sizes=[10, 50, 200], n_flows=500, n_packets=5000)
+    return run_cache_miss()
+
+
+def _e8(quick: bool) -> ExperimentResult:
+    from repro.experiments.stretch import run_stretch
+    return run_stretch(
+        switch_count=16 if quick else 32, flows=200 if quick else 800
+    )
+
+
+def _e9(quick: bool) -> ExperimentResult:
+    from repro.experiments.dynamics import run_dynamics
+    return run_dynamics(
+        churn_steps=15 if quick else 60, warm_flows=60 if quick else 200
+    )
+
+
+def _e10(quick: bool) -> ExperimentResult:
+    from repro.experiments.partitioning import run_cut_ablation
+    return run_cut_ablation(partition_counts=[4, 16] if quick else None)
+
+
+EXPERIMENTS: Dict[str, Tuple[str, Callable[[bool], ExperimentResult]]] = {
+    "E1": ("Table 1: evaluated policies", _e1),
+    "E2": ("Fig: setup throughput, DIFANE vs NOX", _e2),
+    "E3": ("Fig: throughput scaling with authority switches", _e3),
+    "E4": ("Fig: first-packet delay", _e4),
+    "E5": ("Fig: TCAM per authority switch vs #partitions", _e5),
+    "E6": ("Fig: rule-split overhead vs #partitions", _e6),
+    "E7": ("Fig: cache miss rate vs cache size", _e7),
+    "E8": ("Fig: stretch by authority placement", _e8),
+    "E9": ("Table: cost of network dynamics", _e9),
+    "E10": ("Ablation: cut-selection heuristic", _e10),
+}
+
+
+def _print_result(result: ExperimentResult, plot: bool) -> None:
+    print(f"\n=== {result.name}: {result.title} ===")
+    if result.table_rows:
+        print(render_table(result.table_headers, result.table_rows))
+    if result.series:
+        if not result.table_rows:
+            print(render_series_table(result.series))
+        if plot:
+            print()
+            log_x = max(max(s.x) for s in result.series if len(s)) > 50 * min(
+                min(s.x) for s in result.series if len(s)
+            )
+            print(ascii_plot(result.series, log_x=log_x))
+    if result.notes:
+        interesting = {k: v for k, v in result.notes.items() if not k.startswith("_")}
+        if interesting:
+            print(f"\nnotes: {interesting}")
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Run DIFANE reproduction experiments."
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("list", help="list available experiments")
+
+    run = commands.add_parser("run", help="run one experiment (or 'all')")
+    run.add_argument("experiment", help="experiment id (E1..E10) or 'all'")
+    run.add_argument("--quick", action="store_true",
+                     help="scaled-down parameters (seconds, not minutes)")
+    run.add_argument("--no-plot", action="store_true",
+                     help="skip the ASCII figure rendering")
+
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        for key, (description, _) in EXPERIMENTS.items():
+            print(f"{key:5s} {description}")
+        return 0
+
+    wanted = list(EXPERIMENTS) if args.experiment.lower() == "all" else [
+        args.experiment.upper()
+    ]
+    unknown = [key for key in wanted if key not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {unknown}; try 'list'", file=sys.stderr)
+        return 2
+
+    for key in wanted:
+        _, runner = EXPERIMENTS[key]
+        started = time.time()
+        result = runner(args.quick)
+        _print_result(result, plot=not args.no_plot)
+        print(f"({key} took {time.time() - started:.1f}s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

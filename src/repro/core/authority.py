@@ -1,0 +1,308 @@
+"""The DIFANE switch behaviour.
+
+One class plays every role the paper gives a switch, because DIFANE's
+architecture deliberately blurs them:
+
+* **ingress** — first classification point for packets entering from a
+  host: cache rules, then (local) authority rules, then partition rules;
+* **transit** — encapsulated packets are forwarded toward their tunnel
+  destination without reclassification;
+* **authority** — packets tunnelled *to this switch* by a partition rule
+  are matched against the authority rules, forwarded on toward their real
+  destination (so even the first packet of a flow never waits), and a
+  cache-install message is sent back to the ingress switch — entirely in
+  the data plane, no controller involvement.
+
+The authority miss path is capacity-bounded by a
+:class:`~repro.net.events.ServiceStation` (``redirect_rate``): the paper's
+prototype sustains ≈800 K single-packet flow redirects per second per
+authority switch, and that queue is what the throughput experiments
+saturate.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.flowspace.action import Drop, Forward, SetField
+from repro.flowspace.fields import HeaderLayout
+from repro.flowspace.packet import Packet
+from repro.flowspace.rule import Rule, RuleKind
+from repro.core.cachegen import (
+    WinRegionTooLarge,
+    generate_cache_rule,
+    generate_cache_rules,
+)
+from repro.net.events import ServiceStation
+from repro.switch.cache import CacheManager, EvictionPolicy
+from repro.switch.pipeline import DifanePipeline, PipelineStage
+from repro.switch.switch import DataPlaneSwitch
+
+__all__ = ["DifaneSwitch"]
+
+#: Calibrated authority-switch redirect capacity (single-packet flows/s).
+#: Matches the headline number measured on the paper's kernel prototype.
+DEFAULT_REDIRECT_RATE = 800_000.0
+
+
+class DifaneSwitch(DataPlaneSwitch):
+    """A switch running the DIFANE data-plane logic.
+
+    Parameters
+    ----------
+    name:
+        Topology node name.
+    layout:
+        Header layout of the installed rules.
+    cache_capacity:
+        Ingress cache size in TCAM entries (the cache experiments sweep
+        this).  0 disables caching — every flow redirects forever.
+    redirect_rate:
+        Authority-path capacity in redirected packets/second; ``None``
+        removes the bound (pure-semantics tests).
+    redirect_queue:
+        Redirect packets that may queue before tail drop.
+    eviction / idle_timeout / hard_timeout:
+        Cache management knobs (see :class:`CacheManager`).
+    install_latency_s:
+        Extra latency for the in-band cache-install message beyond the
+        routed path delay (models TCAM write time at the ingress switch).
+    prefetch_fragments:
+        Cache fragments installed per miss.  1 (the paper's behaviour)
+        installs just the fragment covering the missed packet; higher
+        values also push sibling win-region fragments — a prefetch
+        extension evaluated by the ablation bench.  Decompositions that
+        would exceed the budget fall back to the single fragment.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        layout: HeaderLayout,
+        cache_capacity: int = 1024,
+        redirect_rate: Optional[float] = DEFAULT_REDIRECT_RATE,
+        redirect_queue: int = 512,
+        eviction: EvictionPolicy = EvictionPolicy.LRU,
+        idle_timeout: Optional[float] = None,
+        hard_timeout: Optional[float] = None,
+        install_latency_s: float = 50e-6,
+        processing_rate: Optional[float] = None,
+        forwarding_delay_s: float = 0.0,
+        prefetch_fragments: int = 1,
+    ):
+        if prefetch_fragments < 1:
+            raise ValueError("prefetch_fragments must be >= 1")
+        super().__init__(
+            name,
+            processing_rate=processing_rate,
+            forwarding_delay_s=forwarding_delay_s,
+        )
+        self.layout = layout
+        self.pipeline = DifanePipeline(layout)
+        self.cache = CacheManager(
+            self.pipeline.cache,
+            capacity=cache_capacity,
+            policy=eviction,
+            default_idle_timeout=idle_timeout,
+            default_hard_timeout=hard_timeout,
+        )
+        self.redirect_rate = redirect_rate
+        self.redirect_queue = redirect_queue
+        self.install_latency_s = install_latency_s
+        self.prefetch_fragments = prefetch_fragments
+        self._redirect_station: Optional[ServiceStation] = None
+        # Statistics the experiments read.
+        self.cache_hits = 0
+        self.authority_hits = 0
+        self.redirects_out = 0
+        self.redirects_handled = 0
+        self.redirects_dropped = 0
+        self.cache_installs_sent = 0
+        self.cache_installs_received = 0
+        self.failovers = 0
+        self.unmatched = 0
+
+    # -- wiring ---------------------------------------------------------------
+    def attach(self, network) -> None:
+        """Wire the redirect-capacity queue when the network binds us."""
+        super().attach(network)
+        if self.redirect_rate is not None:
+            self._redirect_station = ServiceStation(
+                network.scheduler,
+                rate=self.redirect_rate,
+                on_complete=self._handle_redirect,
+                queue_limit=self.redirect_queue,
+                on_drop=self._redirect_overload,
+                name=f"{self.name}.redirect",
+            )
+
+    # -- rule installation (called by the controller / other switches) -----------
+    def install_rule(self, rule: Rule) -> None:
+        """Install an authority or partition rule (controller path)."""
+        if rule.kind is RuleKind.CACHE:
+            raise ValueError("cache rules arrive via install_cache_rule")
+        self.pipeline.install(rule, now=self._now())
+
+    def uninstall_rule(self, rule: Rule) -> bool:
+        """Remove a specific authority/partition rule."""
+        if rule.kind is RuleKind.AUTHORITY:
+            return self.pipeline.authority.evict(rule)
+        if rule.kind is RuleKind.PARTITION:
+            return self.pipeline.partition.evict(rule)
+        return self.pipeline.cache.evict(rule)
+
+    def install_cache_rule(self, rule: Rule) -> None:
+        """Receive an in-band cache install from an authority switch."""
+        self.cache_installs_received += 1
+        now = self._now()
+        self.cache.expire(now)
+        self.cache.install(rule, now)
+
+    def flush_cache_where(self, predicate) -> List[Rule]:
+        """Evict cache rules matching ``predicate`` (policy-change path)."""
+        return self.pipeline.cache.evict_if(
+            lambda rule: rule.kind is RuleKind.CACHE and predicate(rule)
+        )
+
+    # -- the data plane ------------------------------------------------------------
+    def process(self, packet: Packet) -> None:
+        """Ingress classification / transit tunnelling / authority entry."""
+        now = self._now()
+        if packet.is_encapsulated:
+            if packet.encap_destination != self.name:
+                # Transit: tunnel forwarding only, no reclassification.
+                self.network.forward_toward(self.name, packet.encap_destination, packet)
+                return
+            # Redirected to this authority switch.
+            if self._redirect_station is not None:
+                self._redirect_station.submit(packet)
+            else:
+                self._handle_redirect(packet)
+            return
+
+        # Ingress classification.
+        result = self.pipeline.lookup(packet, now)
+        if result.stage is PipelineStage.CACHE:
+            self.cache_hits += 1
+            self._terminal(packet, result.rule)
+        elif result.stage is PipelineStage.AUTHORITY:
+            # This switch is itself the authority for the packet's
+            # partition: handle locally, no redirect needed.
+            self.authority_hits += 1
+            self._terminal(packet, result.rule)
+        elif result.stage is PipelineStage.PARTITION:
+            self.redirects_out += 1
+            packet.via_authority = True
+            self._redirect_via_partition(packet, result.rule)
+        else:
+            self.unmatched += 1
+            self.network.record_drop(packet, self.name, "no matching rule")
+
+    def _redirect_via_partition(self, packet: Packet, rule: Rule) -> None:
+        """Tunnel a miss to its authority switch, failing over to backups.
+
+        Paper §4.3: partition rules carry the replica list, so when the
+        primary authority switch is unreachable the ingress switch picks a
+        live backup **without contacting the controller**.
+        """
+        action = rule.actions.actions[0]
+        destination = action.destination
+        if not self.network.routes.reachable(self.name, destination):
+            for backup in getattr(action, "backups", ()):
+                if self.network.routes.reachable(self.name, backup):
+                    destination = backup
+                    self.failovers += 1
+                    break
+            else:
+                self.network.record_drop(packet, self.name, "authority unreachable")
+                return
+        packet.encapsulate(destination)
+        self.network.forward_toward(self.name, destination, packet)
+
+    def _handle_redirect(self, packet: Packet) -> None:
+        """Authority-path processing of one redirected packet."""
+        self.redirects_handled += 1
+        packet.decapsulate()
+        now = self._now()
+        rule = self.pipeline.authority.lookup(packet, now)
+        if rule is None:
+            self.unmatched += 1
+            self.network.record_drop(packet, self.name, "authority miss")
+            return
+        ingress = packet.ingress_switch
+        # Snapshot the header before terminal actions: SetField rewrites
+        # would otherwise corrupt the win-fragment computation (the cache
+        # rule must match packets as they arrive at the ingress switch).
+        original_bits = packet.header_bits
+        self._terminal(packet, rule)
+        if ingress is not None and ingress != self.name:
+            self._send_cache_install(ingress, rule, original_bits)
+        elif ingress == self.name:
+            # Degenerate single-switch case: cache locally.
+            for cached in self._cache_rules_for(rule, original_bits):
+                self.install_cache_rule(cached)
+
+    def _cache_rules_for(self, rule: Rule, packet_bits: int) -> List[Rule]:
+        """The cache rule(s) one miss generates (fragment + prefetch)."""
+        authority_rules = list(self.pipeline.authority.table.rules)
+        if self.prefetch_fragments > 1:
+            try:
+                return generate_cache_rules(
+                    authority_rules,
+                    rule,
+                    packet_bits=packet_bits,
+                    max_fragments=self.prefetch_fragments,
+                    max_members=max(64, 8 * self.prefetch_fragments),
+                )
+            except WinRegionTooLarge:
+                pass  # fall through to the single-fragment path
+        cached = generate_cache_rule(authority_rules, rule, packet_bits)
+        return [] if cached is None else [cached]
+
+    def _send_cache_install(self, ingress: str, rule: Rule, packet_bits: int) -> None:
+        cached_rules = self._cache_rules_for(rule, packet_bits)
+        if not cached_rules:
+            return
+        target = self.network.node(ingress)
+        delay = self.install_latency_s + self.network.routes.distance(self.name, ingress)
+        for cached in cached_rules:
+            self.cache_installs_sent += 1
+            self.network.scheduler.schedule(delay, target.install_cache_rule, cached)
+
+    def _redirect_overload(self, packet: Packet) -> None:
+        self.redirects_dropped += 1
+        self.network.record_drop(packet, self.name, "authority overloaded")
+
+    # -- terminal action execution ----------------------------------------------------
+    def _terminal(self, packet: Packet, rule: Rule) -> None:
+        """Apply a classification verdict: rewrite, drop, or tunnel onward.
+
+        Forwarded packets are encapsulated to their destination so transit
+        switches never reclassify — DIFANE classifies once, at the edge.
+        """
+        for action in rule.actions:
+            if isinstance(action, SetField):
+                self._apply_rewrite(packet, action)
+            elif isinstance(action, Drop):
+                self.network.record_drop(packet, self.name, "policy drop")
+                return
+            elif isinstance(action, Forward):
+                packet.encapsulate(action.port)
+                self.network.forward_toward(self.name, action.port, packet)
+                return
+            else:
+                break
+        self.network.record_drop(packet, self.name, "no terminal action")
+
+    # -- misc -----------------------------------------------------------------------------
+    def tick(self) -> None:
+        """Periodic maintenance: expire timed-out cache rules."""
+        self.cache.expire(self._now())
+
+    def _now(self) -> float:
+        return self.network.scheduler.now if self.network is not None else 0.0
+
+    @property
+    def tcam_footprint(self) -> int:
+        """Total TCAM entries across the pipeline regions."""
+        return self.pipeline.total_entries()

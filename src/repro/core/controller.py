@@ -1,0 +1,577 @@
+"""The DIFANE controller and the all-in-one network builder.
+
+The controller's job in DIFANE is **proactive and off the critical path**
+(the paper's central claim): it partitions the policy, places the
+fragments on authority switches, pushes the tiny partition tables to every
+switch, and afterwards only reacts to *management* events — policy
+changes, topology changes, host mobility, authority failures (paper §4).
+No packet ever waits for it.
+
+:class:`DifaneNetwork` is the user-facing facade: hand it a topology, a
+policy and a few knobs and it wires switches, controller, partitions and
+routing into a runnable simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.flowspace.action import Encapsulate, Forward
+from repro.flowspace.fields import HeaderLayout
+from repro.flowspace.packet import Packet
+from repro.flowspace.rule import Match, Rule, RuleKind
+from repro.core.authority import DifaneSwitch
+from repro.core.partition import (
+    Partition,
+    PartitionResult,
+    assign_partitions,
+    build_partition_rules,
+    partition_policy,
+)
+from repro.core.placement import choose_authority_switches
+from repro.net.simnet import SimNetwork
+from repro.net.topology import Topology
+from repro.switch.cache import EvictionPolicy
+
+__all__ = ["DifaneController", "DifaneNetwork"]
+
+
+@dataclass
+class _PartitionState:
+    """Controller-side record of one partition's deployment."""
+
+    partition: Partition
+    owners: List[str]  # primary first
+    #: Authority-rule fragments installed per owner (owner -> fragments).
+    installed: Dict[str, List[Rule]] = field(default_factory=dict)
+    #: The partition rule (per ingress switch they are clones; we keep one
+    #: object per switch so eviction is precise).
+    partition_rules: Dict[str, Rule] = field(default_factory=dict)
+
+
+class DifaneController:
+    """Proactive rule partitioning and distribution, plus dynamics handling."""
+
+    def __init__(
+        self,
+        network: SimNetwork,
+        layout: HeaderLayout,
+        authority_switches: Sequence[str],
+        replication: int = 1,
+        partitions_per_authority: int = 1,
+        cut_strategy: str = "split-aware",
+    ):
+        if not authority_switches:
+            raise ValueError("DIFANE needs at least one authority switch")
+        self.network = network
+        self.layout = layout
+        self.authority_switches = list(authority_switches)
+        self.replication = replication
+        self.partitions_per_authority = partitions_per_authority
+        self.cut_strategy = cut_strategy
+        self.policy: List[Rule] = []
+        self.result: Optional[PartitionResult] = None
+        self._states: Dict[int, _PartitionState] = {}
+        # Management statistics (experiment E9 reads these).
+        self.control_messages = 0
+        self.cache_entries_flushed = 0
+        self.policy_updates = 0
+
+    # -- initial distribution ----------------------------------------------------
+    def install_policy(self, rules: Sequence[Rule]) -> PartitionResult:
+        """Partition ``rules`` and push everything to the switches.
+
+        Initial distribution is configuration time (offline); it is applied
+        immediately rather than through latency-modelled messages.
+        """
+        self.policy = list(rules)
+        num_partitions = len(self.authority_switches) * self.partitions_per_authority
+        result = partition_policy(
+            self.policy,
+            self.layout,
+            num_partitions=num_partitions,
+            cut_strategy=self.cut_strategy,
+        )
+        assignment = assign_partitions(
+            result.partitions, self.authority_switches, replication=self.replication
+        )
+        self.result = result
+        self._states.clear()
+
+        for partition in result.partitions:
+            owners = assignment[partition.partition_id]
+            state = _PartitionState(partition=partition, owners=list(owners))
+            for owner in owners:
+                switch = self._switch(owner)
+                fragments = [rule.derive(kind=RuleKind.AUTHORITY) for rule in partition.rules]
+                for fragment in fragments:
+                    switch.install_rule(fragment)
+                    self.control_messages += 1
+                state.installed[owner] = fragments
+            self._states[partition.partition_id] = state
+
+        # Partition rules go to every switch (any switch can be an ingress).
+        for name in self.network.topology.switches():
+            switch = self._switch(name)
+            for partition in result.partitions:
+                state = self._states[partition.partition_id]
+                rule = Rule(
+                    match=Match(self.layout, partition.region),
+                    priority=0,
+                    actions=Encapsulate(
+                        state.owners[0], backups=tuple(state.owners[1:])
+                    ),
+                    kind=RuleKind.PARTITION,
+                )
+                switch.install_rule(rule)
+                state.partition_rules[name] = rule
+                self.control_messages += 1
+        return result
+
+    # -- policy dynamics (paper §4.1) -----------------------------------------------
+    def insert_rule(self, rule: Rule) -> int:
+        """Add one policy rule at its priority; returns affected partitions.
+
+        The new rule's clipped fragments are installed at the authority
+        switches owning every partition it overlaps, and — for correctness
+        — cache rules overlapping the new match are flushed everywhere
+        (they may have been generated under the old, lower-priority
+        winner).
+        """
+        if self.result is None:
+            raise RuntimeError("install_policy must run before insert_rule")
+        self.policy_updates += 1
+        self._insert_by_priority(rule)
+        affected = 0
+        for state in self._states.values():
+            fragment_base = rule.clip_to(state.partition.region)
+            if fragment_base is None:
+                continue
+            affected += 1
+            state.partition.rules.append(fragment_base)
+            state.partition.rules.sort(key=lambda r: -r.priority)
+            for owner in state.owners:
+                fragment = fragment_base.derive(kind=RuleKind.AUTHORITY)
+                self._switch(owner).install_rule(fragment)
+                state.installed[owner].append(fragment)
+                self.control_messages += 1
+        self._flush_caches(lambda cached: cached.match.intersects(rule.match))
+        return affected
+
+    def delete_rule(self, rule: Rule) -> int:
+        """Remove one policy rule; returns affected partitions.
+
+        Authority fragments derived from it are withdrawn and cache rules
+        derived from it flushed.  Cache rules of *other* rules stay: their
+        matches are subsets of their old win regions, which only grow when
+        a higher-priority rule disappears, so they remain correct.
+        """
+        if self.result is None:
+            raise RuntimeError("install_policy must run before delete_rule")
+        self.policy_updates += 1
+        try:
+            self.policy.remove(rule)
+        except ValueError:
+            raise ValueError("rule is not part of the installed policy") from None
+        affected = 0
+        for state in self._states.values():
+            touched = False
+            state.partition.rules = [
+                fragment for fragment in state.partition.rules
+                if fragment.root_origin() is not rule
+            ]
+            for owner in state.owners:
+                fragments = state.installed[owner]
+                doomed = [f for f in fragments if f.root_origin() is rule]
+                for fragment in doomed:
+                    self._switch(owner).uninstall_rule(fragment)
+                    fragments.remove(fragment)
+                    self.control_messages += 1
+                    touched = True
+            if touched:
+                affected += 1
+        self._flush_caches(lambda cached: cached.root_origin() is rule)
+        return affected
+
+    def _insert_by_priority(self, rule: Rule) -> None:
+        index = 0
+        while index < len(self.policy) and self.policy[index].priority >= rule.priority:
+            index += 1
+        self.policy.insert(index, rule)
+
+    def _flush_caches(self, predicate) -> int:
+        flushed_total = 0
+        for name in self.network.topology.switches():
+            switch = self._switch(name)
+            flushed = switch.flush_cache_where(predicate)
+            flushed_total += len(flushed)
+            if flushed:
+                self.control_messages += 1
+        self.cache_entries_flushed += flushed_total
+        return flushed_total
+
+    # -- topology dynamics (paper §4.2) -----------------------------------------------
+    def handle_link_failure(self, a: str, b: str) -> None:
+        """React to a link failure: routing reconverges; partitions stand.
+
+        This is the paper's separation argument made executable — no rule
+        moves, no cache flush; only the link-state layer reacts.
+        """
+        self.network.topology.remove_link(a, b)
+        self.network.rebuild_routes()
+
+    def handle_host_move(self, host: str, new_switch: str) -> int:
+        """Re-home ``host`` onto ``new_switch`` (paper §4.4, host mobility).
+
+        Cached rules whose action forwards to the moved host are flushed
+        at every switch (the paper's mechanism; idle timeouts are the
+        backstop when the controller does not know about the move).
+        Returns the number of flushed cache entries.
+        """
+        topology = self.network.topology
+        old_switch = topology.host_attachment(host)
+        spec = topology.link_spec(host, old_switch)
+        topology.remove_link(host, old_switch)
+        topology.add_link(host, new_switch, spec)
+        self.network.rebuild_routes()
+        return self._flush_caches(
+            lambda cached: any(
+                isinstance(action, Forward) and action.port == host
+                for action in cached.actions
+            )
+        )
+
+    def handle_authority_failure(self, failed: str) -> int:
+        """Fail ``failed`` over to backups; returns re-pointed partitions.
+
+        Partitions whose primary died promote their first live backup; if
+        none exists the partition's fragments are re-installed on the
+        least-loaded surviving authority switch.  Every ingress switch's
+        partition rule for those partitions is re-pointed.
+        """
+        if failed not in self.authority_switches:
+            raise ValueError(f"{failed!r} is not an authority switch")
+        self.authority_switches.remove(failed)
+        if not self.authority_switches:
+            raise RuntimeError("last authority switch failed; policy is unreachable")
+        repointed = 0
+        for state in self._states.values():
+            if failed in state.owners:
+                state.owners.remove(failed)
+                state.installed.pop(failed, None)
+            else:
+                continue
+            if not state.owners:
+                replacement = self._least_loaded_authority()
+                fragments = [
+                    rule.derive(kind=RuleKind.AUTHORITY)
+                    for rule in state.partition.rules
+                ]
+                switch = self._switch(replacement)
+                for fragment in fragments:
+                    switch.install_rule(fragment)
+                    self.control_messages += 1
+                state.owners = [replacement]
+                state.installed[replacement] = fragments
+            primary = state.owners[0]
+            for switch_name, partition_rule in state.partition_rules.items():
+                switch = self._switch(switch_name)
+                switch.uninstall_rule(partition_rule)
+                new_rule = Rule(
+                    match=partition_rule.match,
+                    priority=0,
+                    actions=Encapsulate(primary, backups=tuple(state.owners[1:])),
+                    kind=RuleKind.PARTITION,
+                )
+                switch.install_rule(new_rule)
+                state.partition_rules[switch_name] = new_rule
+                self.control_messages += 1
+            repointed += 1
+        return repointed
+
+    def _least_loaded_authority(self) -> str:
+        load = {name: 0 for name in self.authority_switches}
+        for state in self._states.values():
+            for owner in state.owners:
+                if owner in load:
+                    load[owner] += state.partition.entry_count
+        return min(sorted(load), key=lambda name: load[name])
+
+    # -- load monitoring & repartitioning (paper §4) ------------------------------------
+    def partition_loads(self) -> Dict[int, int]:
+        """Measured redirect load per partition (packets at the primary).
+
+        Authority-rule counters at the primary owner count exactly the
+        redirected traffic of that partition (cache hits never reach the
+        authority switch), which is the load metric rebalancing uses.
+        """
+        loads: Dict[int, int] = {}
+        for pid, state in self._states.items():
+            primary = state.owners[0]
+            fragments = state.installed.get(primary, [])
+            loads[pid] = sum(fragment.packet_count for fragment in fragments)
+        return loads
+
+    def load_imbalance(self) -> float:
+        """``max / mean`` primary load across authority switches (>= 1)."""
+        per_switch: Dict[str, int] = {name: 0 for name in self.authority_switches}
+        for pid, load in self.partition_loads().items():
+            primary = self._states[pid].owners[0]
+            if primary in per_switch:
+                per_switch[primary] += load
+        values = list(per_switch.values())
+        mean = sum(values) / len(values) if values else 0.0
+        if mean <= 0:
+            return 1.0
+        return max(values) / mean
+
+    def rebalance(self) -> int:
+        """Reassign partitions to balance *measured* redirect load.
+
+        The initial assignment balances TCAM entries; once traffic flows,
+        load can skew (hot partitions).  Greedy re-packing on measured
+        load moves whole partitions between authority switches — fragments
+        are installed at new owners, withdrawn from old ones, and every
+        ingress switch's partition rule is re-pointed.  Returns the number
+        of partitions whose primary moved.
+
+        Caches stay valid: cache rules encode forwarding decisions, not
+        authority locations, so no flush is needed.
+        """
+        loads = self.partition_loads()
+        # Greedy: heaviest partitions first onto the least-loaded switch.
+        order = sorted(self._states, key=lambda pid: (-loads[pid], pid))
+        switch_load = {name: 0 for name in self.authority_switches}
+        moved = 0
+        for pid in order:
+            state = self._states[pid]
+            ranked = sorted(
+                self.authority_switches, key=lambda name: (switch_load[name], name)
+            )
+            new_primary = ranked[0]
+            switch_load[new_primary] += max(loads[pid], 1)
+            old_owners = list(state.owners)
+            if new_primary == old_owners[0]:
+                continue
+            moved += 1
+            # Build the new owner list: new primary plus enough backups.
+            backups = [name for name in old_owners if name != new_primary]
+            new_owners = ([new_primary] + backups)[: max(len(old_owners), 1)]
+            # Fragment counters at the old primary are the partition's load
+            # history; MOVE them to the new primary (copy, then zero the
+            # source) so post-move load measurements stay meaningful and
+            # the transparency aggregation never double-counts.
+            old_fragments = state.installed.get(old_owners[0], [])
+            history = [fragment.packet_count for fragment in old_fragments]
+            history_bytes = [fragment.byte_count for fragment in old_fragments]
+            for fragment in old_fragments:
+                fragment.packet_count = 0
+                fragment.byte_count = 0
+            # Install fragments at owners that lack them.
+            for owner in new_owners:
+                if owner in state.installed:
+                    if owner == new_primary:
+                        # Promoted backup: absorb the moved history.
+                        for fragment, count, size in zip(
+                            state.installed[owner], history, history_bytes
+                        ):
+                            fragment.packet_count += count
+                            fragment.byte_count += size
+                    continue
+                fragments = [
+                    rule.derive(kind=RuleKind.AUTHORITY)
+                    for rule in state.partition.rules
+                ]
+                if owner == new_primary:
+                    for fragment, count, size in zip(fragments, history, history_bytes):
+                        fragment.packet_count = count
+                        fragment.byte_count = size
+                switch = self._switch(owner)
+                for fragment in fragments:
+                    switch.install_rule(fragment)
+                    self.control_messages += 1
+                state.installed[owner] = fragments
+            # Withdraw from owners no longer used.
+            for owner in old_owners:
+                if owner in new_owners:
+                    continue
+                for fragment in state.installed.pop(owner, []):
+                    self._switch(owner).uninstall_rule(fragment)
+                    self.control_messages += 1
+            state.owners = new_owners
+            # Re-point every ingress switch's partition rule.
+            for switch_name, partition_rule in state.partition_rules.items():
+                switch = self._switch(switch_name)
+                switch.uninstall_rule(partition_rule)
+                new_rule = Rule(
+                    match=partition_rule.match,
+                    priority=0,
+                    actions=Encapsulate(new_primary, backups=tuple(new_owners[1:])),
+                    kind=RuleKind.PARTITION,
+                )
+                switch.install_rule(new_rule)
+                state.partition_rules[switch_name] = new_rule
+                self.control_messages += 1
+        return moved
+
+    # -- transparency: per-policy-rule statistics -------------------------------------
+    def collect_policy_counters(self):
+        """Fold every derived rule's counters back onto the policy rules.
+
+        DIFANE splits, clips and caches the operator's rules, but the
+        operator still expects per-rule packet/byte counts (what a
+        FlowStatsRequest would return from one giant switch).  Every
+        packet is classified exactly once — at an ingress cache rule, a
+        local authority rule, or the redirect-target authority rule — so
+        summing those counters per :meth:`Rule.root_origin` reconstructs
+        the single-table statistics exactly.
+
+        Returns a mapping ``policy rule -> CounterSnapshot``.
+        """
+        from repro.switch.counters import aggregate_counters
+
+        derived = []
+        for name in self.network.topology.switches():
+            switch = self._switch(name)
+            derived.extend(switch.pipeline.cache.rules())
+            derived.extend(switch.pipeline.authority.rules())
+        return aggregate_counters(derived)
+
+    # -- helpers -----------------------------------------------------------------------
+    def _switch(self, name: str) -> DifaneSwitch:
+        return self.network.node(name)
+
+    def partitions(self) -> List[Partition]:
+        """The current partitions (post any dynamics)."""
+        return [state.partition for state in self._states.values()]
+
+    def owners_of(self, partition_id: int) -> List[str]:
+        """Current owner list (primary first) of a partition."""
+        return list(self._states[partition_id].owners)
+
+    def __repr__(self) -> str:
+        return (
+            f"<DifaneController {len(self._states)} partitions over "
+            f"{len(self.authority_switches)} authority switches>"
+        )
+
+
+class DifaneNetwork:
+    """Facade: build a complete DIFANE deployment in one call.
+
+    Example
+    -------
+    >>> topo = TopologyBuilder.three_tier_campus()
+    >>> dn = DifaneNetwork.build(topo, rules, FIVE_TUPLE_LAYOUT,
+    ...                          authority_count=2, cache_capacity=64)
+    >>> dn.send(host, packet)
+    >>> dn.run(until=1.0)
+    """
+
+    def __init__(self, network: SimNetwork, controller: DifaneController):
+        self.network = network
+        self.controller = controller
+
+    @classmethod
+    def build(
+        cls,
+        topology: Topology,
+        rules: Sequence[Rule],
+        layout: HeaderLayout,
+        authority_count: int = 1,
+        authority_switches: Optional[Sequence[str]] = None,
+        placement: str = "central",
+        cache_capacity: int = 1024,
+        replication: int = 1,
+        partitions_per_authority: int = 1,
+        redirect_rate: Optional[float] = None,
+        idle_timeout: Optional[float] = None,
+        hard_timeout: Optional[float] = None,
+        eviction: EvictionPolicy = EvictionPolicy.LRU,
+        cut_strategy: str = "split-aware",
+        forwarding_delay_s: float = 0.0,
+        prefetch_fragments: int = 1,
+    ) -> "DifaneNetwork":
+        """Construct switches, controller and partitions over ``topology``."""
+        network = SimNetwork(topology)
+        for name in topology.switches():
+            network.register_node(
+                DifaneSwitch(
+                    name,
+                    layout,
+                    cache_capacity=cache_capacity,
+                    redirect_rate=redirect_rate,
+                    idle_timeout=idle_timeout,
+                    hard_timeout=hard_timeout,
+                    eviction=eviction,
+                    forwarding_delay_s=forwarding_delay_s,
+                    prefetch_fragments=prefetch_fragments,
+                )
+            )
+        if authority_switches is None:
+            authority_switches = choose_authority_switches(
+                topology, authority_count, strategy=placement
+            )
+        controller = DifaneController(
+            network,
+            layout,
+            authority_switches,
+            replication=replication,
+            partitions_per_authority=partitions_per_authority,
+            cut_strategy=cut_strategy,
+        )
+        controller.install_policy(rules)
+        return cls(network, controller)
+
+    # -- convenience -------------------------------------------------------------
+    def send(self, host: str, packet: Packet) -> None:
+        """Inject ``packet`` from ``host`` now."""
+        self.network.inject_from_host(host, packet)
+
+    def send_at(self, time: float, host: str, packet: Packet) -> None:
+        """Schedule ``packet`` injection from ``host`` at absolute ``time``."""
+        self.network.scheduler.schedule_at(
+            time, self.network.inject_from_host, host, packet
+        )
+
+    def run(self, until: Optional[float] = None) -> int:
+        """Run the event loop."""
+        return self.network.run(until=until)
+
+    def switch(self, name: str) -> DifaneSwitch:
+        """The :class:`DifaneSwitch` behaviour at ``name``."""
+        return self.network.node(name)
+
+    def switches(self) -> List[DifaneSwitch]:
+        """All switch behaviours."""
+        return [self.network.node(n) for n in self.network.topology.switches()]
+
+    # -- aggregate statistics --------------------------------------------------------
+    def cache_hit_rate(self) -> float:
+        """Fraction of ingress classifications served from the cache."""
+        hits = sum(s.cache_hits for s in self.switches())
+        local = sum(s.authority_hits for s in self.switches())
+        misses = sum(s.redirects_out for s in self.switches())
+        total = hits + local + misses
+        return hits / total if total else 0.0
+
+    def total_redirects(self) -> int:
+        """Packets that detoured through an authority switch."""
+        return sum(s.redirects_handled for s in self.switches())
+
+    def policy_counters(self):
+        """Per-policy-rule statistics (see
+        :meth:`DifaneController.collect_policy_counters`)."""
+        return self.controller.collect_policy_counters()
+
+    def tcam_report(self) -> Dict[str, Dict[str, int]]:
+        """Per-switch TCAM occupancy by region."""
+        report = {}
+        for switch in self.switches():
+            report[switch.name] = {
+                "cache": len(switch.pipeline.cache),
+                "authority": len(switch.pipeline.authority),
+                "partition": len(switch.pipeline.partition),
+            }
+        return report

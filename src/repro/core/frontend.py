@@ -1,0 +1,144 @@
+"""The operator-facing OpenFlow frontend: DIFANE as one big switch.
+
+DIFANE's management story is that the *operator's* controller keeps
+speaking plain OpenFlow — install a rule, delete a rule, read counters —
+while DIFANE handles distribution underneath.  :class:`DifaneFrontend`
+implements that contract over the message vocabulary in
+:mod:`repro.openflow.messages`:
+
+* ``FlowMod ADD``      → partition-aware insert across authority switches;
+* ``FlowMod DELETE``   → withdraw the matching policy rules everywhere;
+* ``FlowMod MODIFY``   → atomic replace (delete + add at one priority);
+* ``StatsRequest``     → per-policy-rule counters aggregated from every
+  cache/authority fragment in the network (exactly what a single switch
+  would report);
+* ``BarrierRequest``   → ordered acknowledgement (operations here apply
+  synchronously, so the barrier is an ordering receipt).
+
+The frontend is deliberately synchronous — the latency-modelled path is
+the *data plane*; management-plane messaging latency can be layered with
+:class:`~repro.openflow.channel.ControlChannel` when an experiment needs
+it.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.controller import DifaneController
+from repro.flowspace.rule import Rule
+from repro.openflow.messages import (
+    BarrierReply,
+    BarrierRequest,
+    FlowMod,
+    FlowModCommand,
+    Message,
+    StatsReply,
+    StatsRequest,
+)
+
+__all__ = ["DifaneFrontend"]
+
+#: The virtual switch name the frontend answers as.
+VIRTUAL_SWITCH = "difane"
+
+
+class DifaneFrontend:
+    """Translate operator OpenFlow messages into DIFANE operations."""
+
+    def __init__(self, controller: DifaneController):
+        self.controller = controller
+        self.flow_mods_handled = 0
+        self.stats_requests_handled = 0
+        self.barriers_handled = 0
+        self.errors = 0
+
+    # -- the single entry point ------------------------------------------------
+    def handle_message(self, message: Message) -> Optional[Message]:
+        """Process one operator message; returns the reply when one exists.
+
+        Unknown message types return ``None`` (and count as errors), as a
+        real switch would send an OFPT_ERROR.
+        """
+        if isinstance(message, FlowMod):
+            return self._handle_flow_mod(message)
+        if isinstance(message, StatsRequest):
+            return self._handle_stats(message)
+        if isinstance(message, BarrierRequest):
+            return self._handle_barrier(message)
+        self.errors += 1
+        return None
+
+    # -- flow table management ----------------------------------------------------
+    def _handle_flow_mod(self, message: FlowMod) -> Optional[Message]:
+        self.flow_mods_handled += 1
+        if message.command is FlowModCommand.ADD:
+            if message.rule is None:
+                self.errors += 1
+                return None
+            self.controller.insert_rule(message.rule)
+            return None
+        if message.command is FlowModCommand.DELETE:
+            for rule in self._rules_matching(message):
+                self.controller.delete_rule(rule)
+            return None
+        if message.command is FlowModCommand.MODIFY:
+            if message.rule is None:
+                self.errors += 1
+                return None
+            # OpenFlow MODIFY: replace actions of rules with the same
+            # match; if none exist, behaves like ADD.
+            replaced = False
+            for rule in self._rules_matching(message, match=message.rule.match):
+                self.controller.delete_rule(rule)
+                replacement = Rule(
+                    match=rule.match,
+                    priority=rule.priority,
+                    actions=message.rule.actions,
+                )
+                self.controller.insert_rule(replacement)
+                replaced = True
+            if not replaced:
+                self.controller.insert_rule(message.rule)
+            return None
+        self.errors += 1
+        return None
+
+    def _rules_matching(self, message: FlowMod, match=None) -> List[Rule]:
+        """Policy rules whose match equals the FlowMod's target match."""
+        target = match if match is not None else message.match
+        if target is None and message.rule is not None:
+            target = message.rule.match
+        if target is None:
+            return []
+        return [
+            rule for rule in list(self.controller.policy) if rule.match == target
+        ]
+
+    # -- statistics -------------------------------------------------------------------
+    def _handle_stats(self, message: StatsRequest) -> StatsReply:
+        self.stats_requests_handled += 1
+        counters = self.controller.collect_policy_counters()
+        entries = []
+        for rule in self.controller.policy:
+            if message.match is not None and rule.match != message.match:
+                continue
+            snapshot = counters.get(rule)
+            packets = snapshot.packets if snapshot else 0
+            size = snapshot.bytes if snapshot else 0
+            entries.append((rule, packets, size))
+        reply = StatsReply(switch=VIRTUAL_SWITCH, entries=entries)
+        return reply
+
+    # -- barriers ------------------------------------------------------------------------
+    def _handle_barrier(self, message: BarrierRequest) -> BarrierReply:
+        self.barriers_handled += 1
+        reply = BarrierReply(switch=VIRTUAL_SWITCH)
+        reply.request_xid = message.xid
+        return reply
+
+    def __repr__(self) -> str:
+        return (
+            f"<DifaneFrontend flow_mods={self.flow_mods_handled} "
+            f"stats={self.stats_requests_handled} errors={self.errors}>"
+        )

@@ -1,0 +1,46 @@
+"""Policy preprocessing: prune rules that can never match.
+
+Operator rule sets accumulate dead entries — rules completely covered by
+higher-priority rules.  They waste TCAM in every partition they overlap,
+so the DIFANE controller prunes them before partitioning (the paper notes
+redundancy elimination as a preprocessing step; the analysis here is
+exact, via header-space subtraction, not heuristic).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.flowspace.fields import HeaderLayout
+from repro.flowspace.rule import Rule
+from repro.flowspace.table import RuleTable
+
+__all__ = ["prune_shadowed_rules", "shadow_report"]
+
+
+def prune_shadowed_rules(
+    rules: Sequence[Rule],
+    layout: HeaderLayout,
+) -> Tuple[List[Rule], List[Rule]]:
+    """Split ``rules`` into (live, shadowed).
+
+    A rule is shadowed when the union of strictly higher-priority
+    overlapping matches covers its entire match; removing it cannot change
+    any lookup.  The live list preserves the original relative order.
+    """
+    table = RuleTable(layout, rules)
+    shadowed = set(id(rule) for rule in table.shadowed_rules())
+    live = [rule for rule in rules if id(rule) not in shadowed]
+    dead = [rule for rule in rules if id(rule) in shadowed]
+    return live, dead
+
+
+def shadow_report(rules: Sequence[Rule], layout: HeaderLayout) -> dict:
+    """Summary statistics of a policy's dead weight."""
+    live, dead = prune_shadowed_rules(rules, layout)
+    return {
+        "total": len(rules),
+        "live": len(live),
+        "shadowed": len(dead),
+        "shadowed_fraction": len(dead) / len(rules) if rules else 0.0,
+    }

@@ -1,0 +1,22 @@
+"""Experiment harness: one module per reproduced table/figure.
+
+Every experiment exposes a ``run_*`` function that builds its workload,
+exercises the system(s) and returns plain data (Series / table rows), plus
+a ``render`` helper producing the text the benchmark prints.  See
+EXPERIMENTS.md for the paper-claim ↔ measured-result index.
+
+| Module          | Paper item | Claim |
+|-----------------|-----------|-------|
+| ``policies``    | Table 1   | workload characteristics |
+| ``throughput``  | Fig. E2   | authority switch ≈800K flows/s vs NOX ≈50K |
+| ``scaling``     | Fig. E3   | DIFANE setup throughput scales with k |
+| ``delay``       | Fig. E4   | first-packet delay ≈0.4 ms vs ≈10 ms |
+| ``partitioning``| Fig. E5/E6, E10 | TCAM per authority switch vs k; split overhead |
+| ``caching``     | Fig. E7   | wildcard caching ≫ microflow caching |
+| ``stretch``     | Fig. E8   | modest, placement-dependent stretch |
+| ``dynamics``    | Table E9  | cost of policy churn / mobility / failover |
+"""
+
+from repro.experiments.common import CALIBRATION, ExperimentResult
+
+__all__ = ["CALIBRATION", "ExperimentResult"]

@@ -1,0 +1,64 @@
+"""Shared experiment scaffolding: calibration constants and result types.
+
+Calibration
+-----------
+The paper's absolute numbers come from a specific testbed (kernel Click
+switches, a NOX controller on commodity hardware).  We encode those
+measured constants once, here, and every experiment derives its service
+rates and latencies from them.  ``EXPERIMENTS.md`` records which constant
+each reproduced figure depends on.
+
+Rate scaling: scaling *every* rate by ``s`` while scaling time by ``1/s``
+leaves queueing dynamics identical (the event system is memoryless in
+absolute time), so experiments accept a ``scale`` knob to keep event
+counts tractable and report rates already normalized back to full scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.series import Series
+
+__all__ = ["Calibration", "CALIBRATION", "ExperimentResult"]
+
+
+@dataclass(frozen=True)
+class Calibration:
+    """Measured constants of the paper's testbed (see module docstring)."""
+
+    #: NOX-style controller flow-setup capacity (setups/second).
+    controller_rate: float = 50_000.0
+    #: One authority switch's redirect capacity (single-packet flows/s).
+    authority_redirect_rate: float = 800_000.0
+    #: One-way switch ↔ controller control-channel latency (seconds).
+    control_latency_s: float = 4.5e-3
+    #: Per-link propagation inside the enterprise (seconds).
+    link_propagation_s: float = 50e-6
+    #: Controller CPU queue depth before tail drop (messages).
+    controller_queue: int = 1024
+    #: Authority switch redirect queue depth (packets).
+    redirect_queue: int = 512
+
+
+CALIBRATION = Calibration()
+
+
+@dataclass
+class ExperimentResult:
+    """What every experiment returns: series and/or table rows plus notes."""
+
+    name: str
+    title: str
+    series: List[Series] = field(default_factory=list)
+    table_headers: List[str] = field(default_factory=list)
+    table_rows: List[List[object]] = field(default_factory=list)
+    notes: Dict[str, object] = field(default_factory=dict)
+
+    def series_by_label(self, label: str) -> Series:
+        """Find a series by its legend label."""
+        for series in self.series:
+            if series.label == label:
+                return series
+        raise KeyError(f"no series labelled {label!r} in {self.name}")

@@ -1,0 +1,151 @@
+"""E4 — first-packet delay: data-plane detour vs controller round trip.
+
+The paper's latency claim: a cache-miss packet in DIFANE pays one extra
+*data-plane* hop through the authority switch (sub-millisecond), while in
+NOX it pays a control-channel round trip plus controller queueing
+(≈10 ms).  Packets after the first hit the installed rule and see plain
+forwarding delay in both systems.
+
+We run both architectures over the same three-tier campus topology and
+flow workload (two packets per flow, the second after the install has
+surely landed) and report the delay populations:
+
+* ``DIFANE first`` / ``DIFANE subsequent``
+* ``NOX first`` / ``NOX subsequent``
+
+as CDX series plus summary rows.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.analysis.series import Series
+from repro.analysis.stats import cdf, summarize
+from repro.baselines.nox import NoxNetwork
+from repro.core.controller import DifaneNetwork
+from repro.experiments.common import CALIBRATION, Calibration, ExperimentResult
+from repro.flowspace.fields import FIVE_TUPLE_LAYOUT
+from repro.net.topology import TopologyBuilder
+from repro.workloads.policies import routing_policy_for_topology
+from repro.workloads.traffic import host_pair_packets
+
+__all__ = ["run_delay"]
+
+LAYOUT = FIVE_TUPLE_LAYOUT
+
+
+def _delays(records) -> Dict[str, List[float]]:
+    first = [r.delay for r in records if r.via_authority or r.via_controller]
+    rest = [r.delay for r in records if not (r.via_authority or r.via_controller)]
+    return {"first": first, "subsequent": rest}
+
+
+def _cdf_series(label: str, values: List[float]) -> Series:
+    series = Series(label, x_label="delay (ms)", y_label="CDF")
+    for value, fraction in cdf([v * 1e3 for v in values]):
+        series.append(value, fraction)
+    return series
+
+
+def run_delay(
+    flows: int = 200,
+    rate: float = 2_000.0,
+    calibration: Calibration = CALIBRATION,
+    seed: int = 7,
+) -> ExperimentResult:
+    """Measure first- and subsequent-packet delay under both architectures.
+
+    ``rate`` is kept far below every capacity so queueing delay is
+    negligible and the comparison isolates path/architecture latency.
+    """
+    topo_args = dict(core_count=2, distribution_count=3,
+                     access_per_distribution=3, hosts_per_access=2)
+
+    def workload(topo, host_ips):
+        """Two identical packets per flow, the second after install."""
+        timed = host_pair_packets(
+            topo, host_ips, LAYOUT, count=flows, rate=rate, seed=seed, flow_packets=1
+        )
+        # Second packet of each flow, well after the install completed.
+        late = host_pair_packets(
+            topo, host_ips, LAYOUT, count=flows, rate=rate, seed=seed, flow_packets=1
+        )
+        gap = flows / rate + 10 * calibration.control_latency_s
+        for timed_packet in late:
+            timed_packet.time += gap
+        return timed + late
+
+    # Per-hop pipeline latency calibrated to the paper's kernel prototype.
+    hop_delay = 60e-6
+
+    # DIFANE.
+    topo = TopologyBuilder.three_tier_campus(**topo_args)
+    rules, host_ips = routing_policy_for_topology(topo, LAYOUT)
+    dn = DifaneNetwork.build(
+        topo,
+        rules,
+        LAYOUT,
+        authority_count=2,
+        cache_capacity=4096,
+        redirect_rate=calibration.authority_redirect_rate,
+        forwarding_delay_s=hop_delay,
+    )
+    for timed_packet in workload(topo, host_ips):
+        dn.send_at(timed_packet.time, timed_packet.source_host, timed_packet.packet)
+    dn.run()
+    difane = _delays(dn.network.delivered())
+
+    # NOX.
+    topo = TopologyBuilder.three_tier_campus(**topo_args)
+    rules, host_ips = routing_policy_for_topology(topo, LAYOUT)
+    nn = NoxNetwork.build(
+        topo,
+        rules,
+        LAYOUT,
+        controller_rate=calibration.controller_rate,
+        control_latency_s=calibration.control_latency_s,
+        forwarding_delay_s=hop_delay,
+    )
+    for timed_packet in workload(topo, host_ips):
+        nn.send_at(timed_packet.time, timed_packet.source_host, timed_packet.packet)
+    nn.run()
+    nox = _delays(nn.network.delivered())
+
+    series = [
+        _cdf_series("DIFANE first", difane["first"]),
+        _cdf_series("DIFANE subsequent", difane["subsequent"]),
+        _cdf_series("NOX first", nox["first"]),
+        _cdf_series("NOX subsequent", nox["subsequent"]),
+    ]
+    rows = []
+    for label, values in (
+        ("DIFANE first", difane["first"]),
+        ("DIFANE subsequent", difane["subsequent"]),
+        ("NOX first", nox["first"]),
+        ("NOX subsequent", nox["subsequent"]),
+    ):
+        if values:
+            summary = summarize([v * 1e3 for v in values])
+            rows.append([label, len(values), f"{summary.median:.3f}",
+                         f"{summary.mean:.3f}", f"{summary.p99:.3f}"])
+        else:
+            rows.append([label, 0, "-", "-", "-"])
+
+    return ExperimentResult(
+        name="E4-delay",
+        title="Packet delay (ms): DIFANE data-plane detour vs NOX controller RTT",
+        series=series,
+        table_headers=["population", "n", "median", "mean", "p99"],
+        table_rows=rows,
+        notes={
+            "difane_first_median_ms": _median_ms(difane["first"]),
+            "nox_first_median_ms": _median_ms(nox["first"]),
+        },
+    )
+
+
+def _median_ms(values: List[float]) -> Optional[float]:
+    if not values:
+        return None
+    return summarize([v * 1e3 for v in values]).median

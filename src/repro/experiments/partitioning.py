@@ -1,0 +1,143 @@
+"""E5 / E6 / E10 — evaluating the flow-space partitioner on real-shaped policies.
+
+* **E5**: per-authority-switch TCAM entries as the number of partitions
+  grows.  The paper's claim: ≈ ``N/k`` plus a modest split overhead, so
+  small-TCAM switches can host big policies if you add enough of them.
+* **E6**: the split overhead itself — total entries over the original rule
+  count — grows slowly with k.
+* **E10** (ablation): the split-aware cut heuristic vs. a naive
+  balance-only heuristic; the design choice DESIGN.md calls out.
+
+These experiments are pure algorithm evaluations (no event simulation):
+they run :func:`repro.core.partition.partition_policy` over synthesized
+campus / VPN / ClassBench policies and report the partition statistics.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.series import Series
+from repro.core.partition import partition_policy
+from repro.experiments.common import ExperimentResult
+from repro.flowspace.fields import FIVE_TUPLE_LAYOUT
+from repro.flowspace.rule import Rule
+from repro.workloads.classbench import generate_classbench
+from repro.workloads.policies import campus_policy, vpn_policy
+
+__all__ = ["run_partition_tcam", "run_partition_overhead", "run_cut_ablation",
+           "default_policies"]
+
+LAYOUT = FIVE_TUPLE_LAYOUT
+
+
+def default_policies(scale: int = 1) -> Dict[str, List[Rule]]:
+    """The policy suite used across the partitioning experiments.
+
+    ``scale`` multiplies the size knobs (1 → ≈1–3 K rules per policy,
+    suitable for tests; 4 → ≈10 K, the benchmark setting).
+    """
+    return {
+        "campus": campus_policy(
+            departments=8 * scale, subnets_per_department=8,
+            acl_rules_per_department=12, layout=LAYOUT, seed=11,
+        ),
+        "vpn": vpn_policy(customers=60 * scale, sites_per_customer=4,
+                          layout=LAYOUT, seed=12),
+        "classbench-acl": generate_classbench(
+            "acl", count=1000 * scale, seed=13, layout=LAYOUT
+        ),
+    }
+
+
+def run_partition_tcam(
+    partition_counts: Optional[Sequence[int]] = None,
+    policies: Optional[Dict[str, List[Rule]]] = None,
+) -> ExperimentResult:
+    """E5: max per-partition TCAM entries vs number of partitions."""
+    partition_counts = list(partition_counts) if partition_counts else [1, 2, 4, 8, 16, 32, 64]
+    policies = policies if policies is not None else default_policies()
+    series_list = []
+    rows = []
+    for name, rules in policies.items():
+        series = Series(
+            name, x_label="# partitions", y_label="max TCAM entries per partition"
+        )
+        for k in partition_counts:
+            result = partition_policy(rules, LAYOUT, num_partitions=k)
+            series.append(k, result.max_partition_entries)
+            rows.append([
+                name, k, len(rules), result.max_partition_entries,
+                result.total_entries, f"{result.duplication_factor:.3f}",
+            ])
+        series.meta["policy_size"] = len(rules)
+        series_list.append(series)
+    return ExperimentResult(
+        name="E5-partition-tcam",
+        title="TCAM entries per authority switch vs number of partitions",
+        series=series_list,
+        table_headers=["policy", "k", "rules", "max/partition", "total", "dup-factor"],
+        table_rows=rows,
+    )
+
+
+def run_partition_overhead(
+    partition_counts: Optional[Sequence[int]] = None,
+    policies: Optional[Dict[str, List[Rule]]] = None,
+) -> ExperimentResult:
+    """E6: rule-splitting overhead (duplication factor) vs partitions."""
+    partition_counts = list(partition_counts) if partition_counts else [1, 2, 4, 8, 16, 32, 64]
+    policies = policies if policies is not None else default_policies()
+    series_list = []
+    for name, rules in policies.items():
+        series = Series(name, x_label="# partitions", y_label="duplication factor")
+        for k in partition_counts:
+            result = partition_policy(rules, LAYOUT, num_partitions=k)
+            series.append(k, result.duplication_factor)
+        series_list.append(series)
+    return ExperimentResult(
+        name="E6-partition-overhead",
+        title="Rule-split overhead vs number of partitions",
+        series=series_list,
+    )
+
+
+def run_cut_ablation(
+    partition_counts: Optional[Sequence[int]] = None,
+    policy: Optional[List[Rule]] = None,
+) -> ExperimentResult:
+    """E10: split-aware vs naive balance-only cut selection.
+
+    The split-aware heuristic should dominate on policies with real
+    overlap structure (ClassBench ACL): same balance, fewer duplicated
+    rules.
+    """
+    partition_counts = list(partition_counts) if partition_counts else [2, 4, 8, 16, 32]
+    if policy is None:
+        policy = generate_classbench("acl", count=1000, seed=13, layout=LAYOUT)
+    series_list = []
+    rows = []
+    variants = (
+        ("split-aware", {"cut_strategy": "split-aware"}),
+        ("occupancy", {"cut_strategy": "occupancy"}),
+        ("split-aware/dst-only", {"cut_strategy": "split-aware",
+                                  "allowed_fields": ["nw_dst"]}),
+    )
+    for label, kwargs in variants:
+        series = Series(label, x_label="# partitions", y_label="total TCAM entries")
+        for k in partition_counts:
+            result = partition_policy(policy, LAYOUT, num_partitions=k, **kwargs)
+            series.append(k, result.total_entries)
+            rows.append([
+                label, k, result.total_entries,
+                result.max_partition_entries, f"{result.duplication_factor:.3f}",
+            ])
+        series_list.append(series)
+    return ExperimentResult(
+        name="E10-cut-ablation",
+        title="Cut-selection ablation: split-aware vs balance-only",
+        series=series_list,
+        table_headers=["strategy", "k", "total entries", "max/partition", "dup-factor"],
+        table_rows=rows,
+        notes={"policy_size": len(policy)},
+    )

@@ -1,0 +1,102 @@
+"""E8 — path stretch of cache-miss packets, by authority placement.
+
+A cache-miss packet detours ingress → authority → egress instead of the
+shortest ingress → egress path.  Stretch = detour latency / shortest-path
+latency.  The paper shows this is modest and placement-sensitive; we
+sweep the placement strategies of :mod:`repro.core.placement` on a Waxman
+random topology and report the stretch distribution per strategy.
+
+Analytic evaluation: stretch depends only on routing distances and the
+partition→authority mapping, so no event simulation is needed — we
+enumerate random flows, find each flow's owning authority switch through
+the actual partitioner, and read distances from the routing table.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.series import Series
+from repro.analysis.stats import cdf, summarize
+from repro.core.partition import assign_partitions, partition_policy
+from repro.core.placement import choose_authority_switches
+from repro.experiments.common import ExperimentResult
+from repro.flowspace.fields import FIVE_TUPLE_LAYOUT
+from repro.net.routing import compute_routes
+from repro.net.topology import TopologyBuilder
+from repro.workloads.policies import routing_policy_for_topology
+
+__all__ = ["run_stretch"]
+
+LAYOUT = FIVE_TUPLE_LAYOUT
+
+
+def run_stretch(
+    strategies: Optional[Sequence[str]] = None,
+    authority_count: int = 3,
+    switch_count: int = 24,
+    flows: int = 400,
+    seed: int = 17,
+) -> ExperimentResult:
+    """Compute stretch CDFs per placement strategy.
+
+    Every sampled flow: random (ingress, egress) host pair plus the
+    authority switch owning the flow's partition; stretch is the ratio of
+    routed latencies.  Flows whose ingress equals egress are skipped.
+    """
+    strategies = list(strategies) if strategies else ["random", "degree", "central", "spread"]
+    topo = TopologyBuilder.waxman(switch_count, hosts_per_switch=1, seed=seed)
+    rules, host_ips = routing_policy_for_topology(topo, LAYOUT)
+    routes = compute_routes(topo)
+    partition_result = partition_policy(rules, LAYOUT, num_partitions=authority_count * 2)
+
+    rng = random.Random(seed)
+    hosts = sorted(host_ips)
+    flow_samples = []
+    for _ in range(flows):
+        src, dst = rng.sample(hosts, 2)
+        header = LAYOUT.pack_values(
+            nw_src=host_ips[src], nw_dst=host_ips[dst], nw_proto=6,
+            tp_src=rng.randint(1024, 65535), tp_dst=80,
+        )
+        flow_samples.append((src, dst, header))
+
+    series_list = []
+    rows = []
+    for strategy in strategies:
+        authorities = choose_authority_switches(
+            topo, authority_count, strategy=strategy, seed=seed
+        )
+        assignment = assign_partitions(partition_result.partitions, authorities)
+        stretches = []
+        for src, dst, header in flow_samples:
+            ingress = topo.host_attachment(src)
+            egress = topo.host_attachment(dst)
+            partition = partition_result.find_partition(header)
+            authority = assignment[partition.partition_id][0]
+            # Hop-count stretch (the paper's metric); +1 on each leg counts
+            # the host links so same-switch pairs stay finite.
+            direct = routes.hop_count(ingress, egress) + 2
+            detour = (
+                routes.hop_count(ingress, authority)
+                + routes.hop_count(authority, egress)
+                + 2
+            )
+            stretches.append(max(detour / direct, 1.0))
+        series = Series(strategy, x_label="stretch", y_label="CDF")
+        for value, fraction in cdf(stretches):
+            series.append(value, fraction)
+        series_list.append(series)
+        summary = summarize(stretches)
+        rows.append([strategy, f"{summary.median:.2f}", f"{summary.mean:.2f}",
+                     f"{summary.p95:.2f}", f"{summary.maximum:.2f}"])
+
+    return ExperimentResult(
+        name="E8-stretch",
+        title="First-packet path stretch by authority placement",
+        series=series_list,
+        table_headers=["placement", "median", "mean", "p95", "max"],
+        table_rows=rows,
+        notes={"switches": switch_count, "authorities": authority_count, "flows": flows},
+    )

@@ -1,0 +1,152 @@
+"""Rule actions.
+
+Actions are small immutable value objects attached to rules.  The DIFANE
+pipeline distinguishes ordinary forwarding actions (``Forward``, ``Drop``)
+from the architectural actions its rule kinds use:
+
+* ``Encapsulate`` — partition rules at ingress switches tunnel cache-miss
+  packets to an authority switch;
+* ``SendToController`` — what Ethane/NOX-style rules do on a miss (used by
+  the baseline, *never* by DIFANE — that is the point of the paper);
+* ``TriggerCacheInstall`` is not an action: authority rules carry a flag on
+  the rule itself (see :class:`repro.flowspace.rule.Rule`).
+
+Equality is structural; the classification oracle compares the *resolved*
+final actions of a distributed lookup against the single-table original.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+__all__ = [
+    "Action",
+    "Forward",
+    "Drop",
+    "SendToController",
+    "Encapsulate",
+    "SetField",
+    "ActionList",
+]
+
+
+class Action:
+    """Base class for all actions.  Subclasses are frozen dataclasses."""
+
+    #: True for actions that terminate forwarding decisions at this switch.
+    terminal: bool = True
+
+
+@dataclass(frozen=True)
+class Forward(Action):
+    """Forward the packet out of a (logical) port.
+
+    In flow-level experiments the ``port`` is a symbolic egress identifier
+    (e.g. the name of the next-hop switch or an egress point); the network
+    layer resolves it to a link.
+    """
+
+    port: str
+
+    def __str__(self) -> str:
+        return f"fwd({self.port})"
+
+
+@dataclass(frozen=True)
+class Drop(Action):
+    """Discard the packet."""
+
+    def __str__(self) -> str:
+        return "drop"
+
+
+@dataclass(frozen=True)
+class SendToController(Action):
+    """Punt the packet to the central controller (baseline behaviour only)."""
+
+    def __str__(self) -> str:
+        return "to-controller"
+
+
+@dataclass(frozen=True)
+class Encapsulate(Action):
+    """Tunnel the packet to another switch (DIFANE redirect to authority).
+
+    ``destination`` names the primary authority switch that owns the
+    flow-space partition the packet falls into; ``backups`` lists replica
+    authority switches the ingress switch may fail over to **in the data
+    plane** when the primary becomes unreachable (paper §4.3 — failover
+    needs no controller round trip because the backups are pre-installed
+    in the partition rule).
+    """
+
+    destination: str
+    backups: Tuple[str, ...] = ()
+
+    def __str__(self) -> str:
+        if self.backups:
+            return f"encap({self.destination}|{','.join(self.backups)})"
+        return f"encap({self.destination})"
+
+
+@dataclass(frozen=True)
+class SetField(Action):
+    """Rewrite one header field, then continue (non-terminal).
+
+    Used by policy generators to model NAT/load-balancer style rules whose
+    semantics must survive caching unchanged.
+    """
+
+    field_name: str
+    value: int
+    terminal: bool = field(default=False, init=False)
+
+    def __str__(self) -> str:
+        return f"set({self.field_name}={self.value})"
+
+
+class ActionList:
+    """An ordered, immutable sequence of actions applied left to right."""
+
+    __slots__ = ("actions",)
+
+    def __init__(self, *actions: Action):
+        flattened = []
+        for action in actions:
+            if isinstance(action, ActionList):
+                flattened.extend(action.actions)
+            else:
+                flattened.append(action)
+        self.actions: Tuple[Action, ...] = tuple(flattened)
+
+    def __iter__(self):
+        return iter(self.actions)
+
+    def __len__(self) -> int:
+        return len(self.actions)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, ActionList):
+            return self.actions == other.actions
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self.actions)
+
+    def __str__(self) -> str:
+        return "[" + ", ".join(str(a) for a in self.actions) + "]"
+
+    __repr__ = __str__
+
+    @property
+    def is_drop(self) -> bool:
+        """True when the final disposition is a drop."""
+        return any(isinstance(a, Drop) for a in self.actions)
+
+    def final_forward(self):
+        """The last ``Forward`` action, or ``None`` (dropped/punted)."""
+        for action in reversed(self.actions):
+            if isinstance(action, Forward):
+                return action
+        return None

@@ -1,0 +1,212 @@
+"""Prioritized rule tables.
+
+A :class:`RuleTable` is the software model of a classifier: rules ordered
+by priority (ties broken by insertion order, matching OpenFlow's
+first-installed-wins convention for equal priorities), linear-search
+lookup, plus the analysis helpers the DIFANE algorithms and the test
+oracles rely on: shadow detection, overlap enumeration, and randomized
+semantic-equivalence checking.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.flowspace.fields import HeaderLayout
+from repro.flowspace.headerspace import HeaderSpace
+from repro.flowspace.packet import Packet
+from repro.flowspace.rule import Match, Rule
+
+__all__ = ["RuleTable"]
+
+
+class RuleTable:
+    """An ordered wildcard-rule classifier.
+
+    The table maintains rules sorted by ``(-priority, sequence)`` where
+    ``sequence`` is insertion order, so iteration visits rules in exactly
+    the order a lookup considers them.
+    """
+
+    def __init__(self, layout: HeaderLayout, rules: Optional[Iterable[Rule]] = None):
+        self.layout = layout
+        self._rules: List[Rule] = []
+        self._sequence = 0
+        self._order: dict = {}
+        if rules:
+            for rule in rules:
+                self.add(rule)
+
+    # -- mutation -------------------------------------------------------------
+    def add(self, rule: Rule) -> None:
+        """Insert ``rule`` in priority position."""
+        if rule.match.layout != self.layout:
+            raise ValueError("rule layout differs from table layout")
+        self._order[rule.rule_id] = self._sequence
+        self._sequence += 1
+        index = self._insertion_index(rule)
+        self._rules.insert(index, rule)
+
+    def remove(self, rule: Rule) -> bool:
+        """Remove ``rule`` (by identity); returns whether it was present."""
+        for index, existing in enumerate(self._rules):
+            if existing is rule:
+                del self._rules[index]
+                self._order.pop(rule.rule_id, None)
+                return True
+        return False
+
+    def remove_if(self, predicate: Callable[[Rule], bool]) -> List[Rule]:
+        """Remove and return every rule satisfying ``predicate``."""
+        kept: List[Rule] = []
+        removed: List[Rule] = []
+        for rule in self._rules:
+            (removed if predicate(rule) else kept).append(rule)
+        self._rules = kept
+        for rule in removed:
+            self._order.pop(rule.rule_id, None)
+        return removed
+
+    def clear(self) -> None:
+        """Remove every rule."""
+        self._rules.clear()
+        self._order.clear()
+
+    def _insertion_index(self, rule: Rule) -> int:
+        """Index preserving (-priority, insertion sequence) order."""
+        sequence = self._order[rule.rule_id]
+        low, high = 0, len(self._rules)
+        while low < high:
+            mid = (low + high) // 2
+            existing = self._rules[mid]
+            existing_key = (-existing.priority, self._order[existing.rule_id])
+            if existing_key <= (-rule.priority, sequence):
+                low = mid + 1
+            else:
+                high = mid
+        return low
+
+    # -- lookup ------------------------------------------------------------------
+    def lookup(self, packet: Packet) -> Optional[Rule]:
+        """The highest-priority rule matching ``packet``, or ``None``."""
+        return self.lookup_bits(packet.header_bits)
+
+    def lookup_bits(self, header_bits: int) -> Optional[Rule]:
+        """The highest-priority rule matching the packed ``header_bits``."""
+        for rule in self._rules:
+            if rule.match.matches_bits(header_bits):
+                return rule
+        return None
+
+    def classify(self, packet: Packet) -> Optional[Rule]:
+        """Like :meth:`lookup` but also updates the winning rule's counters."""
+        winner = self.lookup(packet)
+        if winner is not None:
+            winner.record_hit(packet)
+        return winner
+
+    # -- analysis --------------------------------------------------------------------
+    def dependencies_of(self, rule: Rule) -> List[Rule]:
+        """Higher-priority rules whose match overlaps ``rule``'s.
+
+        These are the rules a correct cache of ``rule`` must account for:
+        caching ``rule`` verbatim would steal their packets.
+        """
+        result = []
+        for other in self._rules:
+            if other is rule:
+                break
+            if other.match.intersects(rule.match):
+                result.append(other)
+        return result
+
+    def shadowed_rules(self) -> List[Rule]:
+        """Rules that can never match any packet.
+
+        A rule is shadowed when the union of strictly-higher-priority
+        overlapping matches covers it entirely; such rules are dead weight
+        in a TCAM and the partitioner prunes them.
+        """
+        shadowed = []
+        covered_so_far: List[Rule] = []
+        for rule in self._rules:
+            space = HeaderSpace.of(rule.match.ternary)
+            space = space.subtract_all(
+                other.match.ternary
+                for other in covered_so_far
+                if other.match.intersects(rule.match)
+            )
+            if space.is_empty():
+                shadowed.append(rule)
+            covered_so_far.append(rule)
+        return shadowed
+
+    def uncovered_region(self, rule: Rule) -> HeaderSpace:
+        """The part of ``rule``'s match not claimed by higher-priority rules.
+
+        This is exactly the region in which ``rule`` wins a lookup — the
+        basis of DIFANE's independent cache-rule generation.
+        """
+        space = HeaderSpace.of(rule.match.ternary)
+        for other in self._rules:
+            if other is rule:
+                break
+            if other.match.intersects(rule.match):
+                space = space.subtract(other.match.ternary)
+                if space.is_empty():
+                    break
+        return space
+
+    def semantically_equal(
+        self,
+        oracle: Callable[[int], Optional[Rule]],
+        rng: random.Random,
+        samples: int = 200,
+    ) -> Tuple[bool, Optional[int]]:
+        """Randomized equivalence check against another classifier.
+
+        Draws points both uniformly over the header space and *adversarially*
+        from rule boundaries (corners of every match), comparing the action
+        list and origin policy rule of the winners.  Returns ``(True, None)``
+        or ``(False, counterexample_bits)``.
+        """
+        points: List[int] = []
+        for _ in range(samples):
+            points.append(rng.getrandbits(self.layout.width))
+        for rule in self._rules:
+            points.append(rule.match.ternary.value)  # lowest corner
+            points.append(rule.match.ternary.sample(rng))
+        for bits in points:
+            mine = self.lookup_bits(bits)
+            theirs = oracle(bits)
+            if not _same_outcome(mine, theirs):
+                return (False, bits)
+        return (True, None)
+
+    # -- views -------------------------------------------------------------------------
+    @property
+    def rules(self) -> Sequence[Rule]:
+        """The rules in lookup order (read-only view)."""
+        return tuple(self._rules)
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+    def __iter__(self) -> Iterator[Rule]:
+        return iter(self._rules)
+
+    def __contains__(self, rule: Rule) -> bool:
+        return any(existing is rule for existing in self._rules)
+
+    def __repr__(self) -> str:
+        return f"RuleTable({len(self._rules)} rules, layout={self.layout!r})"
+
+
+def _same_outcome(mine: Optional[Rule], theirs: Optional[Rule]) -> bool:
+    """Two lookup winners agree when their resolved policy behaviour agrees."""
+    if mine is None or theirs is None:
+        return mine is None and theirs is None
+    if mine.root_origin() is theirs.root_origin():
+        return True
+    return mine.actions == theirs.actions

@@ -1,0 +1,71 @@
+"""Point-to-point links.
+
+A :class:`Link` carries packets between two named nodes with a delay of
+``propagation + size / bandwidth`` seconds.  Links are unidirectional at
+the object level; topologies create one per direction.  Per-link counters
+feed the utilization analysis in the stretch and throughput experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.net.events import EventScheduler
+
+__all__ = ["LinkSpec", "Link"]
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """Physical parameters of a link.
+
+    Attributes
+    ----------
+    propagation_s:
+        One-way propagation delay in seconds (default 50 µs — a metro span;
+        the campus builder uses shorter values).
+    bandwidth_bps:
+        Capacity in bits per second (default 1 Gb/s).
+    """
+
+    propagation_s: float = 50e-6
+    bandwidth_bps: float = 1e9
+
+    def transfer_delay(self, size_bytes: int) -> float:
+        """Total latency for one packet of ``size_bytes``."""
+        return self.propagation_s + (size_bytes * 8.0) / self.bandwidth_bps
+
+
+class Link:
+    """A unidirectional link delivering packets after the spec's delay."""
+
+    __slots__ = ("source", "destination", "spec", "scheduler", "deliver",
+                 "packets_carried", "bytes_carried")
+
+    def __init__(
+        self,
+        source: str,
+        destination: str,
+        spec: LinkSpec,
+        scheduler: EventScheduler,
+        deliver: Callable,
+    ):
+        self.source = source
+        self.destination = destination
+        self.spec = spec
+        self.scheduler = scheduler
+        #: Callback invoked as ``deliver(destination, packet)`` on arrival.
+        self.deliver = deliver
+        self.packets_carried = 0
+        self.bytes_carried = 0
+
+    def send(self, packet) -> None:
+        """Start transmitting ``packet``; it arrives after the link delay."""
+        self.packets_carried += 1
+        self.bytes_carried += packet.size_bytes
+        delay = self.spec.transfer_delay(packet.size_bytes)
+        self.scheduler.schedule(delay, self.deliver, self.destination, packet)
+
+    def __repr__(self) -> str:
+        return f"<Link {self.source}->{self.destination} {self.packets_carried}pkts>"

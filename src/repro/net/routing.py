@@ -1,0 +1,95 @@
+"""Link-state shortest-path routing.
+
+DIFANE separates *rule placement* (flow-space partitioning, unaffected by
+topology) from *reachability among switches*, which the paper delegates to
+a conventional link-state protocol.  We model that protocol's steady state:
+all-pairs next-hop tables computed from the current topology by Dijkstra
+(latency-weighted), recomputed on topology change events.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import networkx as nx
+
+__all__ = ["RoutingTable", "compute_routes"]
+
+
+class RoutingTable:
+    """Per-node next-hop tables for every destination in the topology."""
+
+    def __init__(self, next_hops: Dict[str, Dict[str, str]], distances: Dict[str, Dict[str, float]]):
+        self._next_hops = next_hops
+        self._distances = distances
+
+    def next_hop(self, at_node: str, destination: str) -> Optional[str]:
+        """The neighbor to forward to at ``at_node`` toward ``destination``.
+
+        Returns ``None`` when the destination is unreachable or is the
+        current node itself.
+        """
+        if at_node == destination:
+            return None
+        return self._next_hops.get(at_node, {}).get(destination)
+
+    def distance(self, source: str, destination: str) -> float:
+        """Latency-weighted shortest-path distance; ``inf`` if unreachable."""
+        if source == destination:
+            return 0.0
+        return self._distances.get(source, {}).get(destination, float("inf"))
+
+    def path(self, source: str, destination: str) -> List[str]:
+        """The full node sequence from ``source`` to ``destination``.
+
+        Empty when unreachable; ``[source]`` when source == destination.
+        """
+        if source == destination:
+            return [source]
+        path = [source]
+        current = source
+        seen = {source}
+        while current != destination:
+            hop = self.next_hop(current, destination)
+            if hop is None or hop in seen:
+                return []
+            path.append(hop)
+            seen.add(hop)
+            current = hop
+        return path
+
+    def hop_count(self, source: str, destination: str) -> int:
+        """Number of links on the path; -1 when unreachable."""
+        path = self.path(source, destination)
+        return len(path) - 1 if path else -1
+
+    def reachable(self, source: str, destination: str) -> bool:
+        """True when a path exists."""
+        return bool(self.path(source, destination))
+
+
+def compute_routes(topology) -> RoutingTable:
+    """Build all-pairs next-hop tables for ``topology``.
+
+    Edge weight is the link's one-way propagation delay, matching what a
+    latency-optimizing IGP would converge to.  Deterministic: ties are
+    broken by neighbor name so repeated runs route identically.
+    """
+    graph = topology.graph
+    weighted = nx.Graph()
+    for a, b, data in graph.edges(data=True):
+        weighted.add_edge(a, b, weight=data["spec"].propagation_s)
+    for node in graph.nodes:
+        weighted.add_node(node)
+
+    next_hops: Dict[str, Dict[str, str]] = {}
+    distances: Dict[str, Dict[str, float]] = {}
+    for source in sorted(weighted.nodes):
+        lengths, paths = nx.single_source_dijkstra(weighted, source, weight="weight")
+        table: Dict[str, str] = {}
+        for destination, path in paths.items():
+            if len(path) >= 2:
+                table[destination] = path[1]
+        next_hops[source] = table
+        distances[source] = lengths
+    return RoutingTable(next_hops, distances)

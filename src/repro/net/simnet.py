@@ -1,0 +1,230 @@
+"""The runnable network: topology + links + switches + event loop.
+
+:class:`SimNetwork` owns the mechanics — link transmission, packet hand-off
+between nodes, delivery/drop accounting, and control-message latency — and
+stays policy-free.  Switch behaviour (DIFANE pipeline, NOX microflow table)
+lives in node objects registered via :meth:`register_node`; each must
+expose ``name`` and ``handle_packet(network, packet)``.
+
+Forwarding convention
+---------------------
+Rule actions name *destinations*, not physical ports: ``Forward("h7")``
+means "send toward host h7".  Switches resolve the next hop through the
+network's routing table each time, so topology changes re-route cached
+flows without touching rules — exactly the separation DIFANE argues for
+(partitioning is topology-independent; reachability is link-state).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.flowspace.packet import Packet
+from repro.net.events import EventScheduler
+from repro.net.links import Link
+from repro.net.routing import RoutingTable, compute_routes
+from repro.net.topology import Topology
+
+__all__ = ["SimNetwork", "DeliveryRecord"]
+
+#: Fixed per-control-message processing overhead (encode/decode, handler).
+CONTROL_OVERHEAD_S = 20e-6
+
+
+@dataclass
+class DeliveryRecord:
+    """Outcome of one packet's trip through the network."""
+
+    packet_id: int
+    flow_id: Optional[int]
+    created_at: float
+    finished_at: float
+    delivered: bool
+    hops: int
+    via_authority: bool
+    via_controller: bool
+    ingress_switch: Optional[str]
+    endpoint: Optional[str]
+    drop_reason: Optional[str] = None
+
+    @property
+    def delay(self) -> float:
+        """End-to-end latency in seconds (delivery or drop time)."""
+        return self.finished_at - self.created_at
+
+
+class SimNetwork:
+    """Bind a topology, its links, node behaviours and an event scheduler."""
+
+    def __init__(self, topology: Topology, scheduler: Optional[EventScheduler] = None):
+        self.topology = topology
+        self.scheduler = scheduler or EventScheduler()
+        self.routes: RoutingTable = compute_routes(topology)
+        self._nodes: Dict[str, object] = {}
+        self._links: Dict[Tuple[str, str], Link] = {}
+        self.deliveries: List[DeliveryRecord] = []
+        self.control_messages_sent = 0
+        self._build_links()
+
+    # -- wiring ---------------------------------------------------------------
+    def _build_links(self) -> None:
+        for a, b, data in self.topology.graph.edges(data=True):
+            spec = data["spec"]
+            self._links[(a, b)] = Link(a, b, spec, self.scheduler, self._arrive)
+            self._links[(b, a)] = Link(b, a, spec, self.scheduler, self._arrive)
+
+    def register_node(self, node) -> None:
+        """Attach a behaviour object for a switch node.
+
+        ``node.name`` must be a switch in the topology; hosts are handled
+        by the network itself (arrival = delivery).
+        """
+        if node.name not in self.topology.graph:
+            raise KeyError(f"{node.name!r} is not in the topology")
+        self._nodes[node.name] = node
+        attach = getattr(node, "attach", None)
+        if attach is not None:
+            attach(self)
+
+    def node(self, name: str):
+        """The behaviour object registered for ``name``."""
+        return self._nodes[name]
+
+    def rebuild_routes(self) -> None:
+        """Recompute routing after a topology change (link-state convergence).
+
+        Also syncs the link objects: edges added to the topology (e.g. a
+        host re-homing) gain links, removed edges lose them.  Packets
+        already in flight on a removed link still arrive — exactly like a
+        real wire draining.
+        """
+        current = set()
+        for a, b, data in self.topology.graph.edges(data=True):
+            current.add((a, b))
+            current.add((b, a))
+            for pair in ((a, b), (b, a)):
+                if pair not in self._links:
+                    self._links[pair] = Link(
+                        pair[0], pair[1], data["spec"], self.scheduler, self._arrive
+                    )
+        for pair in [p for p in self._links if p not in current]:
+            del self._links[pair]
+        self.routes = compute_routes(self.topology)
+
+    # -- packet movement -------------------------------------------------------
+    def inject_from_host(self, host: str, packet: Packet) -> None:
+        """Emit ``packet`` from ``host`` toward its attached switch, now."""
+        packet.created_at = self.scheduler.now
+        attachment = self.topology.host_attachment(host)
+        packet.ingress_switch = attachment
+        self.transmit(host, attachment, packet)
+
+    def inject_at_switch(self, switch: str, packet: Packet) -> None:
+        """Hand ``packet`` directly to ``switch`` (saves the host hop)."""
+        packet.created_at = self.scheduler.now
+        packet.ingress_switch = switch
+        self._arrive(switch, packet)
+
+    def transmit(self, from_node: str, to_node: str, packet: Packet) -> None:
+        """Send ``packet`` over the ``from_node`` → ``to_node`` link."""
+        link = self._links.get((from_node, to_node))
+        if link is None:
+            self.record_drop(packet, from_node, f"no link {from_node}->{to_node}")
+            return
+        packet.hops += 1
+        link.send(packet)
+
+    def forward_toward(self, at_node: str, destination: str, packet: Packet) -> None:
+        """Forward one hop along the shortest path to ``destination``."""
+        if at_node == destination:
+            self._arrive(destination, packet)
+            return
+        hop = self.routes.next_hop(at_node, destination)
+        if hop is None:
+            self.record_drop(packet, at_node, f"unreachable {destination}")
+            return
+        self.transmit(at_node, hop, packet)
+
+    def _arrive(self, node_name: str, packet: Packet) -> None:
+        role = self.topology.graph.nodes[node_name].get("role")
+        if role == "host":
+            self.record_delivery(packet, node_name)
+            return
+        behaviour = self._nodes.get(node_name)
+        if behaviour is None:
+            self.record_drop(packet, node_name, "no behaviour registered")
+            return
+        behaviour.handle_packet(self, packet)
+
+    # -- control-plane messaging ---------------------------------------------------
+    def send_control(self, from_node: str, to_node: str, handler: Callable, *args) -> None:
+        """Deliver a control message after routed latency plus overhead.
+
+        Used for DIFANE's in-band cache installs (authority → ingress) and
+        by the OpenFlow channel model for switch ↔ controller traffic.
+        """
+        distance = self.routes.distance(from_node, to_node)
+        if distance == float("inf"):
+            return
+        self.control_messages_sent += 1
+        self.scheduler.schedule(distance + CONTROL_OVERHEAD_S, handler, *args)
+
+    # -- accounting -------------------------------------------------------------------
+    def record_delivery(self, packet: Packet, endpoint: str) -> None:
+        """Record a successful delivery at ``endpoint``."""
+        self.deliveries.append(
+            DeliveryRecord(
+                packet_id=packet.packet_id,
+                flow_id=packet.flow_id,
+                created_at=packet.created_at or 0.0,
+                finished_at=self.scheduler.now,
+                delivered=True,
+                hops=packet.hops,
+                via_authority=packet.via_authority,
+                via_controller=packet.via_controller,
+                ingress_switch=packet.ingress_switch,
+                endpoint=endpoint,
+            )
+        )
+
+    def record_drop(self, packet: Packet, where: str, reason: str) -> None:
+        """Record a packet loss at ``where``."""
+        self.deliveries.append(
+            DeliveryRecord(
+                packet_id=packet.packet_id,
+                flow_id=packet.flow_id,
+                created_at=packet.created_at or 0.0,
+                finished_at=self.scheduler.now,
+                delivered=False,
+                hops=packet.hops,
+                via_authority=packet.via_authority,
+                via_controller=packet.via_controller,
+                ingress_switch=packet.ingress_switch,
+                endpoint=where,
+                drop_reason=reason,
+            )
+        )
+
+    # -- convenience --------------------------------------------------------------------
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
+        """Run the event loop (see :meth:`EventScheduler.run`)."""
+        return self.scheduler.run(until=until, max_events=max_events)
+
+    def delivered(self) -> List[DeliveryRecord]:
+        """All successful deliveries so far."""
+        return [r for r in self.deliveries if r.delivered]
+
+    def dropped(self) -> List[DeliveryRecord]:
+        """All drops so far."""
+        return [r for r in self.deliveries if not r.delivered]
+
+    def link(self, a: str, b: str) -> Link:
+        """The directional link object ``a`` → ``b``."""
+        return self._links[(a, b)]
+
+    def __repr__(self) -> str:
+        return (
+            f"<SimNetwork {len(self.topology.switches())} switches "
+            f"t={self.scheduler.now:.6f}s {len(self.deliveries)} outcomes>"
+        )

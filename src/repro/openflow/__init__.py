@@ -1,0 +1,40 @@
+"""OpenFlow 1.0 style control plane substrate.
+
+* :mod:`repro.openflow.messages` — the message vocabulary (PacketIn,
+  FlowMod, PacketOut, Barrier, Stats).
+* :mod:`repro.openflow.channel` — a latency-modelled control channel
+  between one switch and one controller.
+* :mod:`repro.openflow.controller` — the capacity-bounded controller
+  skeleton (message dispatch over a CPU service queue); concrete logic
+  lives in :mod:`repro.baselines.nox` and :mod:`repro.core.controller`.
+"""
+
+from repro.openflow.messages import (
+    BarrierReply,
+    BarrierRequest,
+    FlowMod,
+    FlowModCommand,
+    FlowRemoved,
+    Message,
+    PacketIn,
+    PacketOut,
+    StatsReply,
+    StatsRequest,
+)
+from repro.openflow.channel import ControlChannel
+from repro.openflow.controller import Controller
+
+__all__ = [
+    "Message",
+    "PacketIn",
+    "PacketOut",
+    "FlowMod",
+    "FlowModCommand",
+    "FlowRemoved",
+    "BarrierRequest",
+    "BarrierReply",
+    "StatsRequest",
+    "StatsReply",
+    "ControlChannel",
+    "Controller",
+]

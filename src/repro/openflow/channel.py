@@ -1,0 +1,61 @@
+"""The switch ↔ controller control channel.
+
+A :class:`ControlChannel` models the out-of-band TCP session OpenFlow
+uses: a fixed one-way latency each direction (the paper's testbed measured
+several milliseconds of controller round trip; propagation is one part,
+controller processing the other — the processing half lives in
+:class:`repro.openflow.controller.Controller`'s service queue).
+
+Message ordering per direction is FIFO, which the Barrier implementation
+relies on.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.net.events import EventScheduler
+from repro.openflow.messages import Message
+
+__all__ = ["ControlChannel"]
+
+#: Default one-way control channel latency (seconds).  Calibrated so the
+#: NOX first-packet RTT lands near the ~10 ms the paper reports once
+#: controller processing is added.
+DEFAULT_CONTROL_LATENCY_S = 2e-3
+
+
+class ControlChannel:
+    """One switch's control session to the controller."""
+
+    def __init__(
+        self,
+        scheduler: EventScheduler,
+        switch_name: str,
+        to_controller: Callable[[Message], None],
+        to_switch: Callable[[Message], None],
+        latency_s: float = DEFAULT_CONTROL_LATENCY_S,
+    ):
+        self.scheduler = scheduler
+        self.switch_name = switch_name
+        self._to_controller = to_controller
+        self._to_switch = to_switch
+        self.latency_s = latency_s
+        self.messages_up = 0
+        self.messages_down = 0
+
+    def send_to_controller(self, message: Message) -> None:
+        """Switch-side send; arrives at the controller after the latency."""
+        self.messages_up += 1
+        self.scheduler.schedule(self.latency_s, self._to_controller, message)
+
+    def send_to_switch(self, message: Message) -> None:
+        """Controller-side send; arrives at the switch after the latency."""
+        self.messages_down += 1
+        self.scheduler.schedule(self.latency_s, self._to_switch, message)
+
+    def __repr__(self) -> str:
+        return (
+            f"<ControlChannel {self.switch_name} up={self.messages_up} "
+            f"down={self.messages_down} lat={self.latency_s * 1e3:.2f}ms>"
+        )

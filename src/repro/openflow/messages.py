@@ -1,0 +1,115 @@
+"""OpenFlow 1.0 style control messages.
+
+The subset the evaluation needs: flow installation/removal, packet punts
+and re-injections, barriers (ordering), and statistics.  Messages are
+plain dataclasses; the channel layer handles latency and the controller
+layer handles dispatch, so these stay pure data.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import List, Optional
+
+from repro.flowspace.packet import Packet
+from repro.flowspace.rule import Match, Rule
+
+__all__ = [
+    "Message",
+    "PacketIn",
+    "PacketOut",
+    "FlowModCommand",
+    "FlowMod",
+    "FlowRemoved",
+    "BarrierRequest",
+    "BarrierReply",
+    "StatsRequest",
+    "StatsReply",
+]
+
+_transaction_ids = itertools.count()
+
+
+@dataclass
+class Message:
+    """Base control message; every message carries a transaction id."""
+
+    xid: int = field(default_factory=lambda: next(_transaction_ids), init=False)
+
+
+@dataclass
+class PacketIn(Message):
+    """Switch → controller: a packet missed every rule (Ethane/NOX path)."""
+
+    switch: str
+    packet: Packet
+
+
+@dataclass
+class PacketOut(Message):
+    """Controller → switch: re-inject a (previously punted) packet."""
+
+    switch: str
+    packet: Packet
+    actions: object  # ActionList
+
+
+class FlowModCommand(Enum):
+    """FlowMod verbs (the OF 1.0 subset we exercise)."""
+
+    ADD = "add"
+    MODIFY = "modify"
+    DELETE = "delete"
+
+
+@dataclass
+class FlowMod(Message):
+    """Controller → switch: install / modify / delete a rule."""
+
+    switch: str
+    command: FlowModCommand
+    rule: Optional[Rule] = None
+    #: For DELETE: remove rules whose match equals this (when rule is None).
+    match: Optional[Match] = None
+
+
+@dataclass
+class FlowRemoved(Message):
+    """Switch → controller: a rule expired or was evicted."""
+
+    switch: str
+    rule: Rule
+    reason: str = "idle-timeout"
+
+
+@dataclass
+class BarrierRequest(Message):
+    """Controller → switch: finish everything sent so far, then reply."""
+
+    switch: str
+
+
+@dataclass
+class BarrierReply(Message):
+    """Switch → controller: barrier acknowledged."""
+
+    switch: str
+    request_xid: int = -1
+
+
+@dataclass
+class StatsRequest(Message):
+    """Controller → switch: read rule counters."""
+
+    switch: str
+    match: Optional[Match] = None
+
+
+@dataclass
+class StatsReply(Message):
+    """Switch → controller: counter snapshot per matching rule."""
+
+    switch: str
+    entries: List[tuple] = field(default_factory=list)  # (rule, packets, bytes)

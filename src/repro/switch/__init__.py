@@ -1,0 +1,31 @@
+"""Switch substrate: TCAM, caches, the DIFANE pipeline, data-plane switches.
+
+* :mod:`repro.switch.tcam` — a capacity-bounded ternary match table.
+* :mod:`repro.switch.cache` — eviction policies (LRU, timeouts) for the
+  reactively-installed cache rules at ingress switches.
+* :mod:`repro.switch.pipeline` — DIFANE's three-stage lookup (cache →
+  authority → partition).
+* :mod:`repro.switch.switch` — the base data-plane switch with a bounded
+  packet-processing budget; concrete behaviours live in
+  :mod:`repro.core` (DIFANE) and :mod:`repro.baselines` (NOX).
+* :mod:`repro.switch.counters` — fold per-fragment counters back onto the
+  operator's policy rules.
+"""
+
+from repro.switch.tcam import Tcam, TcamFullError
+from repro.switch.cache import CacheManager, EvictionPolicy
+from repro.switch.pipeline import DifanePipeline, LookupResult, PipelineStage
+from repro.switch.switch import DataPlaneSwitch
+from repro.switch.counters import aggregate_counters
+
+__all__ = [
+    "Tcam",
+    "TcamFullError",
+    "CacheManager",
+    "EvictionPolicy",
+    "DifanePipeline",
+    "LookupResult",
+    "PipelineStage",
+    "DataPlaneSwitch",
+    "aggregate_counters",
+]

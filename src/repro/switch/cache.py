@@ -1,0 +1,168 @@
+"""Cache-rule management at ingress switches.
+
+DIFANE ingress switches hold reactively-installed wildcard **cache rules**
+in a bounded TCAM region.  The paper keeps cache maintenance simple — the
+partition rules below the cache guarantee correctness whatever the cache
+contents, so eviction is purely a performance knob.  We implement the
+policies the evaluation exercises:
+
+* **LRU** — evict the least recently hit cache rule (the paper's default);
+* **FIFO** — evict the oldest install (ablation);
+* **RANDOM** — evict uniformly at random (ablation baseline);
+* idle / hard **timeouts** — the mechanism host-mobility handling relies
+  on (§4 of the paper): stale cache rules age out.
+"""
+
+from __future__ import annotations
+
+import random
+from enum import Enum
+from typing import List, Optional
+
+from repro.flowspace.rule import Rule, RuleKind
+from repro.switch.tcam import Tcam
+
+__all__ = ["EvictionPolicy", "CacheManager"]
+
+
+class EvictionPolicy(Enum):
+    """Which cache rule to sacrifice when the cache region is full."""
+
+    LRU = "lru"
+    FIFO = "fifo"
+    RANDOM = "random"
+
+
+class CacheManager:
+    """Bounded cache region of an ingress switch's TCAM.
+
+    Parameters
+    ----------
+    tcam:
+        The TCAM holding the cache rules (cache rules only — DIFANE stores
+        partition rules in a separate, tiny region; see
+        :class:`repro.switch.pipeline.DifanePipeline`).
+    capacity:
+        Maximum number of cache rules.
+    policy:
+        Eviction policy; LRU matches the paper.
+    default_idle_timeout / default_hard_timeout:
+        Timeouts stamped onto installed cache rules (seconds; ``None``
+        disables).
+    """
+
+    def __init__(
+        self,
+        tcam: Tcam,
+        capacity: int,
+        policy: EvictionPolicy = EvictionPolicy.LRU,
+        default_idle_timeout: Optional[float] = None,
+        default_hard_timeout: Optional[float] = None,
+        seed: int = 0,
+    ):
+        if capacity < 0:
+            raise ValueError(f"cache capacity must be non-negative, got {capacity}")
+        self.tcam = tcam
+        self.capacity = capacity
+        self.policy = policy
+        self.default_idle_timeout = default_idle_timeout
+        self.default_hard_timeout = default_hard_timeout
+        self._rng = random.Random(seed)
+        self.inserted = 0
+        self.evicted = 0
+
+    # -- installs ---------------------------------------------------------------
+    def cache_rules(self) -> List[Rule]:
+        """Cache rules currently installed."""
+        return self.tcam.rules(RuleKind.CACHE)
+
+    def occupancy(self) -> int:
+        """Number of cache rules installed."""
+        return len(self.cache_rules())
+
+    def install(self, rule: Rule, now: float) -> Optional[Rule]:
+        """Install a cache rule, evicting per policy if needed.
+
+        Returns the installed rule, or ``None`` when ``capacity`` is zero
+        (caching disabled).  Duplicate installs (same match & actions
+        already present) refresh the existing rule instead of consuming a
+        new entry — the common case when several packets of one flow miss
+        back-to-back before the install completes.
+        """
+        if self.capacity == 0:
+            return None
+        if rule.kind is not RuleKind.CACHE:
+            raise ValueError(f"expected a cache rule, got {rule.kind}")
+        existing = self._find_duplicate(rule)
+        if existing is not None:
+            existing.last_hit_at = now
+            return existing
+        while self.occupancy() >= self.capacity:
+            victim = self._select_victim()
+            if victim is None:
+                return None
+            self.tcam.evict(victim)
+            self.evicted += 1
+        if rule.idle_timeout is None:
+            rule.idle_timeout = self.default_idle_timeout
+        if rule.hard_timeout is None:
+            rule.hard_timeout = self.default_hard_timeout
+        self.tcam.install(rule, now=now)
+        self.inserted += 1
+        return rule
+
+    def _find_duplicate(self, rule: Rule) -> Optional[Rule]:
+        for existing in self.cache_rules():
+            if existing.match == rule.match and existing.actions == rule.actions:
+                return existing
+        return None
+
+    def _select_victim(self) -> Optional[Rule]:
+        candidates = self.cache_rules()
+        if not candidates:
+            return None
+        if self.policy is EvictionPolicy.LRU:
+            return min(candidates, key=_last_activity)
+        if self.policy is EvictionPolicy.FIFO:
+            return min(candidates, key=_install_time)
+        return self._rng.choice(candidates)
+
+    # -- maintenance ----------------------------------------------------------------
+    def expire(self, now: float) -> List[Rule]:
+        """Evict cache rules whose timeouts have elapsed."""
+        expired = self.tcam.evict_if(
+            lambda rule: rule.kind is RuleKind.CACHE and rule.is_expired(now)
+        )
+        self.evicted += len(expired)
+        return expired
+
+    def invalidate_origin(self, policy_rule: Rule) -> List[Rule]:
+        """Evict every cache rule derived from ``policy_rule``.
+
+        This is the policy-change path: when the controller updates a rule,
+        authority switches flush the cache entries it spawned.
+        """
+        flushed = self.tcam.evict_if(
+            lambda rule: rule.kind is RuleKind.CACHE
+            and rule.root_origin() is policy_rule
+        )
+        self.evicted += len(flushed)
+        return flushed
+
+    def flush(self) -> List[Rule]:
+        """Evict all cache rules (e.g. on ingress switch reset)."""
+        flushed = self.tcam.evict_if(lambda rule: rule.kind is RuleKind.CACHE)
+        self.evicted += len(flushed)
+        return flushed
+
+
+def _last_activity(rule: Rule) -> float:
+    if rule.last_hit_at is not None:
+        return rule.last_hit_at
+    if rule.installed_at is not None:
+        return rule.installed_at
+    return float("-inf")
+
+
+def _install_time(rule: Rule) -> float:
+    return rule.installed_at if rule.installed_at is not None else float("-inf")

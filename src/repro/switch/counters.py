@@ -1,0 +1,50 @@
+"""Counter aggregation across derived rules.
+
+DIFANE splits, clips and caches the operator's policy rules; the operator
+still expects per-policy-rule statistics (the transparency requirement).
+Every derived rule carries an ``origin`` chain back to its policy rule, so
+aggregating is a fold over :meth:`Rule.root_origin`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable
+
+from repro.flowspace.rule import Rule
+
+__all__ = ["CounterSnapshot", "aggregate_counters"]
+
+
+@dataclass
+class CounterSnapshot:
+    """Aggregated statistics for one policy rule."""
+
+    packets: int = 0
+    bytes: int = 0
+    fragments: int = 0
+
+    def absorb(self, rule: Rule) -> None:
+        """Fold one derived (or original) rule's counters in."""
+        self.packets += rule.packet_count
+        self.bytes += rule.byte_count
+        self.fragments += 1
+
+
+def aggregate_counters(rules: Iterable[Rule]) -> Dict[Rule, CounterSnapshot]:
+    """Fold counters of ``rules`` back onto their root policy rules.
+
+    The returned mapping is keyed by policy-rule object identity (the
+    actual :class:`Rule` the operator installed).  Rules with no origin
+    chain aggregate onto themselves, so mixing policy and derived rules in
+    one pass is fine.
+    """
+    totals: Dict[Rule, CounterSnapshot] = {}
+    for rule in rules:
+        root = rule.root_origin()
+        snapshot = totals.get(root)
+        if snapshot is None:
+            snapshot = CounterSnapshot()
+            totals[root] = snapshot
+        snapshot.absorb(rule)
+    return totals

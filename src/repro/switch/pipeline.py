@@ -1,0 +1,122 @@
+"""DIFANE's three-stage switch pipeline.
+
+Paper §2: every DIFANE switch evaluates, in order,
+
+1. **cache rules** — reactively installed, cover the hot traffic;
+2. **authority rules** — present only on authority switches, cover that
+   switch's flow-space partition;
+3. **partition rules** — present on every ingress switch, low priority,
+   map each partition to its (primary) authority switch with an
+   encapsulate action.
+
+In hardware all three share one TCAM with disjoint priority bands; we keep
+them in three :class:`~repro.switch.tcam.Tcam` regions so experiments can
+budget and count each independently, and the lookup tries them in order —
+which is exactly equivalent to the banded-priority arrangement because
+stage ordering dominates priority.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional
+
+from repro.flowspace.fields import HeaderLayout
+from repro.flowspace.packet import Packet
+from repro.flowspace.rule import Rule, RuleKind
+from repro.switch.tcam import Tcam
+
+__all__ = ["PipelineStage", "LookupResult", "DifanePipeline"]
+
+
+class PipelineStage(Enum):
+    """Which stage of the pipeline matched (or MISS)."""
+
+    CACHE = "cache"
+    AUTHORITY = "authority"
+    PARTITION = "partition"
+    MISS = "miss"
+
+
+@dataclass
+class LookupResult:
+    """The outcome of a pipeline lookup."""
+
+    rule: Optional[Rule]
+    stage: PipelineStage
+
+    @property
+    def is_miss(self) -> bool:
+        """True when nothing in any stage matched."""
+        return self.rule is None
+
+
+class DifanePipeline:
+    """Three banded TCAM regions evaluated in stage order.
+
+    Parameters
+    ----------
+    layout:
+        Header layout for every stage.
+    cache_capacity:
+        Entry budget for the cache region (the knob the cache-miss
+        experiments sweep).  ``None`` = unbounded.
+    authority_capacity:
+        Entry budget for authority rules (the partitioning experiments
+        measure how much is needed).  ``None`` = unbounded.
+    partition_capacity:
+        Entry budget for partition rules — small by design (one per
+        partition; the paper's point is that this is tiny).
+    """
+
+    def __init__(
+        self,
+        layout: HeaderLayout,
+        cache_capacity: Optional[int] = None,
+        authority_capacity: Optional[int] = None,
+        partition_capacity: Optional[int] = None,
+    ):
+        self.layout = layout
+        self.cache = Tcam(layout, cache_capacity)
+        self.authority = Tcam(layout, authority_capacity)
+        self.partition = Tcam(layout, partition_capacity)
+        self.misses = 0
+
+    def lookup(self, packet: Packet, now: Optional[float] = None) -> LookupResult:
+        """Match ``packet`` through the stages in DIFANE order."""
+        rule = self.cache.lookup(packet, now)
+        if rule is not None:
+            return LookupResult(rule, PipelineStage.CACHE)
+        rule = self.authority.lookup(packet, now)
+        if rule is not None:
+            return LookupResult(rule, PipelineStage.AUTHORITY)
+        rule = self.partition.lookup(packet, now)
+        if rule is not None:
+            return LookupResult(rule, PipelineStage.PARTITION)
+        self.misses += 1
+        return LookupResult(None, PipelineStage.MISS)
+
+    def install(self, rule: Rule, now: Optional[float] = None, **kwargs) -> Rule:
+        """Install ``rule`` into the region its :class:`RuleKind` selects."""
+        region = self._region_for(rule.kind)
+        return region.install(rule, now=now, **kwargs)
+
+    def _region_for(self, kind: RuleKind) -> Tcam:
+        if kind is RuleKind.CACHE:
+            return self.cache
+        if kind is RuleKind.AUTHORITY:
+            return self.authority
+        if kind is RuleKind.PARTITION:
+            return self.partition
+        raise ValueError(f"rule kind {kind} does not belong in a DIFANE pipeline")
+
+    def total_entries(self) -> int:
+        """TCAM entries across all three regions (per-switch footprint)."""
+        return len(self.cache) + len(self.authority) + len(self.partition)
+
+    def __repr__(self) -> str:
+        return (
+            f"<DifanePipeline cache={len(self.cache)} "
+            f"authority={len(self.authority)} partition={len(self.partition)}>"
+        )

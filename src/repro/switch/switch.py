@@ -1,0 +1,143 @@
+"""The base data-plane switch.
+
+:class:`DataPlaneSwitch` provides everything a concrete behaviour (DIFANE
+ingress/authority in :mod:`repro.core`, NOX microflow switch in
+:mod:`repro.baselines`) needs:
+
+* an optional **packet-processing budget**: a
+  :class:`~repro.net.events.ServiceStation` bounding how many packets per
+  second the switch's slow path can handle, with bounded queueing and loss
+  — the mechanism behind every throughput figure;
+* **action execution** — resolving symbolic ``Forward(destination)``
+  actions through the network's routing table, applying ``SetField``
+  rewrites, honouring ``Drop``;
+* counter plumbing.
+
+Subclasses implement :meth:`process` (called once per packet, in capacity
+order).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.flowspace.action import ActionList, Drop, Encapsulate, Forward, SendToController, SetField
+from repro.flowspace.packet import Packet
+from repro.net.events import ServiceStation
+
+__all__ = ["DataPlaneSwitch"]
+
+
+class DataPlaneSwitch:
+    """Base class for switch behaviours registered with a SimNetwork.
+
+    Parameters
+    ----------
+    name:
+        The topology node this behaviour drives.
+    processing_rate:
+        Packets per second the switch can *process through its lookup
+        path*; ``None`` models a fast path that is never the bottleneck
+        (used when an experiment isolates some other component).
+    queue_limit:
+        Packets that may wait for processing before tail drop.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        processing_rate: Optional[float] = None,
+        queue_limit: int = 256,
+        forwarding_delay_s: float = 0.0,
+    ):
+        self.name = name
+        self.processing_rate = processing_rate
+        self.queue_limit = queue_limit
+        #: Fixed per-packet pipeline latency (lookup + crossbar), applied
+        #: before processing; models the paper's kernel-switch hop cost.
+        self.forwarding_delay_s = forwarding_delay_s
+        self.network = None
+        self._station: Optional[ServiceStation] = None
+        self.packets_seen = 0
+        self.packets_dropped_overload = 0
+
+    # -- SimNetwork protocol ------------------------------------------------------
+    def attach(self, network) -> None:
+        """Called by ``SimNetwork.register_node``; wires the capacity queue."""
+        self.network = network
+        if self.processing_rate is not None:
+            self._station = ServiceStation(
+                network.scheduler,
+                rate=self.processing_rate,
+                on_complete=self._process_now,
+                queue_limit=self.queue_limit,
+                on_drop=self._overloaded,
+                name=f"{self.name}.lookup",
+            )
+
+    def handle_packet(self, network, packet: Packet) -> None:
+        """Entry point from the network; respects the processing budget."""
+        self.packets_seen += 1
+        if self.forwarding_delay_s > 0:
+            network.scheduler.schedule(self.forwarding_delay_s, self._enqueue, packet)
+        else:
+            self._enqueue(packet)
+
+    def _enqueue(self, packet: Packet) -> None:
+        if self._station is None:
+            self._process_now(packet)
+        else:
+            self._station.submit(packet)
+
+    def _process_now(self, packet: Packet) -> None:
+        self.process(packet)
+
+    def _overloaded(self, packet: Packet) -> None:
+        self.packets_dropped_overload += 1
+        self.network.record_drop(packet, self.name, "switch overloaded")
+
+    # -- behaviour hook --------------------------------------------------------------
+    def process(self, packet: Packet) -> None:
+        """Classify and act on one packet.  Subclasses must override."""
+        raise NotImplementedError
+
+    # -- action execution ---------------------------------------------------------------
+    def execute(self, packet: Packet, actions: ActionList) -> None:
+        """Apply an action list to ``packet`` at this switch.
+
+        ``Forward`` targets are destinations (hosts or switches); the
+        packet moves one hop toward the target through the routing table.
+        ``Encapsulate`` tunnels toward an authority switch.  Non-terminal
+        actions (``SetField``) apply in order before the terminal one.
+        """
+        network = self.network
+        for action in actions:
+            if isinstance(action, SetField):
+                self._apply_rewrite(packet, action)
+            elif isinstance(action, Drop):
+                network.record_drop(packet, self.name, "policy drop")
+                return
+            elif isinstance(action, Forward):
+                network.forward_toward(self.name, action.port, packet)
+                return
+            elif isinstance(action, Encapsulate):
+                packet.encapsulate(action.destination)
+                network.forward_toward(self.name, action.destination, packet)
+                return
+            elif isinstance(action, SendToController):
+                # Only meaningful for the NOX baseline, which overrides this.
+                network.record_drop(packet, self.name, "punt without controller")
+                return
+        # An action list with no terminal action means implicit drop.
+        network.record_drop(packet, self.name, "no terminal action")
+
+    def _apply_rewrite(self, packet: Packet, action: SetField) -> None:
+        spec = packet.layout.field(action.field_name)
+        offset = packet.layout.offset(action.field_name)
+        field_mask = ((1 << spec.width) - 1) << offset
+        packet.header_bits = (packet.header_bits & ~field_mask) | (
+            (action.value << offset) & field_mask
+        )
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name} seen={self.packets_seen}>"

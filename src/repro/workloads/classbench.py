@@ -1,0 +1,234 @@
+"""ClassBench-style synthetic 5-tuple classifiers.
+
+ClassBench (Taylor & Turner, 2007) generates classifiers whose statistics
+mimic real filter sets.  The released tool and seeds are not available
+offline, so this module reimplements the *statistical model* that matters
+for DIFANE's algorithms:
+
+* **prefix nesting** — source/destination IP prefixes are drawn from a
+  synthetic prefix tree with reuse, so shorter prefixes contain longer
+  ones and rules form the overlap/dependency chains that make wildcard
+  caching and partitioning non-trivial;
+* **prefix-length distributions** — per profile (ACL: specific
+  destinations, often wildcard sources; FW: both sides constrained,
+  heavier port usage; IPC: near-exact 5-tuples);
+* **port classes** — wildcard / well-known exact / ephemeral range /
+  arbitrary aligned range, with range→prefix expansion into multiple TCAM
+  entries (capped, like real rule compilers);
+* **protocol mix** — TCP / UDP / any (ICMP folds into "any" since ports
+  are wildcarded there).
+
+Each generated entry is a :class:`~repro.flowspace.rule.Rule` in priority
+order (first = highest), with a configurable deny fraction and a final
+catch-all rule.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.flowspace.action import Drop, Forward
+from repro.flowspace.fields import FIVE_TUPLE_LAYOUT, HeaderLayout
+from repro.flowspace.ranges import range_to_ternaries
+from repro.flowspace.rule import Match, Rule
+from repro.flowspace.ternary import Ternary
+
+__all__ = ["ClassBenchProfile", "generate_classbench", "ACL_PROFILE", "FW_PROFILE", "IPC_PROFILE"]
+
+#: Well-known destination ports with rough real-world popularity.
+_POPULAR_PORTS = [80, 443, 53, 25, 22, 21, 23, 110, 143, 161, 389, 445, 3306, 8080]
+
+
+@dataclass(frozen=True)
+class ClassBenchProfile:
+    """The tunable statistics of one classifier flavour.
+
+    ``*_prefix_lengths`` are ``(length_range, weight)`` mixtures: a length
+    is drawn uniformly from the chosen range.  ``port_classes`` weights the
+    four port-match shapes: ``wildcard``, ``exact``, ``ephemeral`` (the
+    classic [1024, 65535]) and ``range`` (random aligned block).
+    """
+
+    name: str
+    src_prefix_lengths: Tuple[Tuple[Tuple[int, int], float], ...]
+    dst_prefix_lengths: Tuple[Tuple[Tuple[int, int], float], ...]
+    port_classes: Tuple[Tuple[str, float], ...]
+    protocol_mix: Tuple[Tuple[Optional[int], float], ...]
+    deny_fraction: float
+    #: Probability that a sampled prefix extends one already generated
+    #: (this is what creates nesting and long dependency chains).
+    prefix_reuse: float
+
+
+ACL_PROFILE = ClassBenchProfile(
+    name="acl",
+    src_prefix_lengths=((((0, 0)), 0.45), (((8, 24)), 0.25), (((24, 32)), 0.30)),
+    dst_prefix_lengths=((((0, 0)), 0.05), (((8, 24)), 0.35), (((24, 32)), 0.60)),
+    port_classes=(("wildcard", 0.35), ("exact", 0.45), ("ephemeral", 0.15), ("range", 0.05)),
+    protocol_mix=((6, 0.65), (17, 0.25), (None, 0.10)),
+    deny_fraction=0.35,
+    prefix_reuse=0.55,
+)
+
+FW_PROFILE = ClassBenchProfile(
+    name="fw",
+    src_prefix_lengths=((((0, 0)), 0.15), (((8, 24)), 0.40), (((24, 32)), 0.45)),
+    dst_prefix_lengths=((((0, 0)), 0.10), (((8, 24)), 0.40), (((24, 32)), 0.50)),
+    port_classes=(("wildcard", 0.20), ("exact", 0.35), ("ephemeral", 0.25), ("range", 0.20)),
+    protocol_mix=((6, 0.55), (17, 0.35), (None, 0.10)),
+    deny_fraction=0.50,
+    prefix_reuse=0.60,
+)
+
+IPC_PROFILE = ClassBenchProfile(
+    name="ipc",
+    src_prefix_lengths=((((0, 0)), 0.05), (((16, 28)), 0.25), (((28, 32)), 0.70)),
+    dst_prefix_lengths=((((0, 0)), 0.05), (((16, 28)), 0.25), (((28, 32)), 0.70)),
+    port_classes=(("wildcard", 0.15), ("exact", 0.70), ("ephemeral", 0.10), ("range", 0.05)),
+    protocol_mix=((6, 0.70), (17, 0.25), (None, 0.05)),
+    deny_fraction=0.20,
+    prefix_reuse=0.45,
+)
+
+_PROFILES: Dict[str, ClassBenchProfile] = {
+    "acl": ACL_PROFILE,
+    "fw": FW_PROFILE,
+    "ipc": IPC_PROFILE,
+}
+
+
+class _PrefixPool:
+    """Sample IPv4 prefixes with nesting, per the profile's reuse knob."""
+
+    def __init__(self, rng: random.Random, reuse: float):
+        self._rng = rng
+        self._reuse = reuse
+        self._pool: List[Tuple[int, int]] = []  # (value, length)
+
+    def sample(self, length: int) -> Ternary:
+        """Draw a prefix of ``length`` bits, reusing pool prefixes for nesting."""
+        if length == 0:
+            return Ternary.wildcard(32)
+        value: Optional[int] = None
+        if self._pool and self._rng.random() < self._reuse:
+            base_value, base_length = self._rng.choice(self._pool)
+            if base_length <= length:
+                # Extend an existing prefix: guaranteed nesting.
+                extension_bits = length - base_length
+                extension = self._rng.getrandbits(extension_bits) if extension_bits else 0
+                value = (base_value >> (32 - base_length) << extension_bits | extension) << (
+                    32 - length
+                )
+        if value is None:
+            value = self._rng.getrandbits(length) << (32 - length) if length else 0
+        self._pool.append((value, length))
+        return Ternary.from_prefix(value, length, 32)
+
+
+def _weighted_choice(rng: random.Random, options: Sequence[Tuple[object, float]]):
+    total = sum(weight for _, weight in options)
+    point = rng.random() * total
+    cumulative = 0.0
+    for choice, weight in options:
+        cumulative += weight
+        if point <= cumulative:
+            return choice
+    return options[-1][0]
+
+
+def _sample_port(rng: random.Random, profile: ClassBenchProfile) -> List[Ternary]:
+    """Return the TCAM ternaries for one port match (possibly several)."""
+    port_class = _weighted_choice(rng, profile.port_classes)
+    if port_class == "wildcard":
+        return [Ternary.wildcard(16)]
+    if port_class == "exact":
+        return [Ternary.exact(rng.choice(_POPULAR_PORTS), 16)]
+    if port_class == "ephemeral":
+        return range_to_ternaries(1024, 65535, 16)
+    # Arbitrary aligned range: a power-of-two block, 1 TCAM entry.
+    block_bits = rng.randint(2, 10)
+    base = rng.getrandbits(16 - block_bits) << block_bits
+    return [Ternary.from_prefix(base, 16 - block_bits, 16)]
+
+
+def _sample_prefix_length(rng: random.Random, mixture) -> int:
+    length_range = _weighted_choice(rng, mixture)
+    low, high = length_range
+    return rng.randint(low, high)
+
+
+def generate_classbench(
+    profile: str = "acl",
+    count: int = 1000,
+    seed: int = 0,
+    layout: HeaderLayout = FIVE_TUPLE_LAYOUT,
+    egress_ports: Sequence[str] = ("e0", "e1", "e2", "e3"),
+    max_expansion: int = 8,
+    include_default: bool = True,
+) -> List[Rule]:
+    """Generate a synthetic classifier of ≈``count`` TCAM entries.
+
+    Classifier-level rules whose port ranges expand into several ternaries
+    produce several :class:`Rule` entries sharing a priority level (as a
+    TCAM compiler would emit), capped at ``max_expansion`` entries.  The
+    list ends with a catch-all rule (accept for ACL-style deny lists,
+    drop otherwise) when ``include_default`` is set.
+
+    Deterministic for a given ``(profile, count, seed)``.
+    """
+    spec = _PROFILES.get(profile)
+    if spec is None:
+        raise ValueError(f"unknown profile {profile!r}; choose from {sorted(_PROFILES)}")
+    if count < 1:
+        raise ValueError(f"count must be >= 1, got {count}")
+
+    rng = random.Random(seed)
+    src_pool = _PrefixPool(rng, spec.prefix_reuse)
+    dst_pool = _PrefixPool(rng, spec.prefix_reuse)
+    rules: List[Rule] = []
+    priority = count + 1  # descending; leaves room for the default at 0
+
+    while len(rules) < (count - 1 if include_default else count):
+        src = src_pool.sample(_sample_prefix_length(rng, spec.src_prefix_lengths))
+        dst = dst_pool.sample(_sample_prefix_length(rng, spec.dst_prefix_lengths))
+        protocol = _weighted_choice(rng, spec.protocol_mix)
+        proto_ternary = (
+            Ternary.wildcard(8) if protocol is None else Ternary.exact(protocol, 8)
+        )
+        sport_options = _sample_port(rng, spec)
+        dport_options = _sample_port(rng, spec)
+        action = (
+            Drop()
+            if rng.random() < spec.deny_fraction
+            else Forward(rng.choice(list(egress_ports)))
+        )
+        expanded = 0
+        for sport in sport_options:
+            for dport in dport_options:
+                if expanded >= max_expansion:
+                    break
+                match = Match(
+                    layout,
+                    layout.pack_match(
+                        nw_src=src,
+                        nw_dst=dst,
+                        nw_proto=proto_ternary,
+                        tp_src=sport,
+                        tp_dst=dport,
+                    ),
+                )
+                rules.append(Rule(match, priority, action))
+                expanded += 1
+            if expanded >= max_expansion:
+                break
+        priority -= 1
+        if priority <= 0:
+            break
+
+    rules = rules[: count - 1 if include_default else count]
+    if include_default:
+        default_action = Forward(egress_ports[0]) if spec.deny_fraction >= 0.5 else Drop()
+        rules.append(Rule(Match.any(layout), 0, default_action))
+    return rules

@@ -1,0 +1,185 @@
+"""Synthetic network policies matching the paper's evaluation inputs.
+
+The DIFANE evaluation used operator policies we cannot redistribute: a
+campus network's routing + ACL configuration and an ISP's VPN
+configuration.  These synthesizers produce policies with the same
+*structure* at configurable scale:
+
+* :func:`campus_policy` — departments with subnets, inter-department
+  service ACLs, per-subnet routing, default deny: destination-heavy with
+  moderate overlap depth.
+* :func:`vpn_policy` — per-customer (source prefix, destination prefix)
+  allow pairs over a shared default-deny backbone: very many narrow rules
+  with shallow overlap — the shape that partitions almost perfectly.
+* :func:`routing_policy_for_topology` — a policy aligned with a simulated
+  topology: every host gets an address and a routing rule, with optional
+  ACL denies layered on top; used by the end-to-end delay/throughput
+  experiments so that policy actions name real hosts.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.flowspace.action import Drop, Forward
+from repro.flowspace.fields import FIVE_TUPLE_LAYOUT, HeaderLayout, parse_ip
+from repro.flowspace.rule import Match, Rule
+from repro.flowspace.ternary import Ternary
+
+__all__ = ["campus_policy", "vpn_policy", "routing_policy_for_topology"]
+
+
+def campus_policy(
+    departments: int = 16,
+    subnets_per_department: int = 8,
+    acl_rules_per_department: int = 12,
+    layout: HeaderLayout = FIVE_TUPLE_LAYOUT,
+    seed: int = 0,
+) -> List[Rule]:
+    """A campus-style policy: service ACLs above routing above default deny.
+
+    Structure (top priority first):
+
+    1. per-department service ACLs — deny/permit specific (src subnet,
+       dst subnet, dst port) triples across departments;
+    2. routing — one rule per subnet forwarding to that department's
+       egress;
+    3. default deny.
+
+    Size ≈ ``departments * (acl_rules_per_department + subnets_per_department) + 1``.
+    """
+    rng = random.Random(seed)
+    rules: List[Rule] = []
+    base = parse_ip("10.0.0.0")
+
+    def department_net(d: int) -> Ternary:
+        """Department ``d``'s /16 aggregate."""
+        return Ternary.from_prefix(base | (d << 16), 16, 32)
+
+    def subnet(d: int, s: int) -> Ternary:
+        """Subnet ``s`` (/24) of department ``d``."""
+        return Ternary.from_prefix(base | (d << 16) | (s << 8), 24, 32)
+
+    priority = departments * (acl_rules_per_department + subnets_per_department) + 10
+
+    # 1. Service ACLs between departments.
+    services = [22, 80, 443, 445, 3306, 8080, 53, 25]
+    for d in range(departments):
+        for _ in range(acl_rules_per_department):
+            other = rng.randrange(departments)
+            service = rng.choice(services)
+            action = Drop() if rng.random() < 0.6 else Forward(f"dept{other}")
+            match = Match(
+                layout,
+                layout.pack_match(
+                    nw_src=department_net(d),
+                    nw_dst=subnet(other, rng.randrange(subnets_per_department)),
+                    nw_proto=Ternary.exact(6, 8),
+                    tp_dst=Ternary.exact(service, 16),
+                ),
+            )
+            rules.append(Rule(match, priority, action))
+            priority -= 1
+
+    # 2. Routing per subnet.
+    for d in range(departments):
+        for s in range(subnets_per_department):
+            match = Match(layout, layout.pack_match(nw_dst=subnet(d, s)))
+            rules.append(Rule(match, priority, Forward(f"dept{d}")))
+            priority -= 1
+
+    # 3. Default deny.
+    rules.append(Rule(Match.any(layout), 0, Drop()))
+    return rules
+
+
+def vpn_policy(
+    customers: int = 100,
+    sites_per_customer: int = 4,
+    layout: HeaderLayout = FIVE_TUPLE_LAYOUT,
+    seed: int = 0,
+) -> List[Rule]:
+    """A VPN-provider policy: per-customer site-pair allows, default deny.
+
+    Every customer owns ``sites_per_customer`` /24 site prefixes; traffic
+    is permitted between that customer's own sites (full mesh of ordered
+    pairs) and denied otherwise.  Size ≈ ``customers * sites² + 1`` narrow
+    rules — the near-disjoint shape that partitions with almost no splits.
+    """
+    rng = random.Random(seed)
+    rules: List[Rule] = []
+    priority = customers * sites_per_customer * sites_per_customer + 1
+
+    for customer in range(customers):
+        sites = []
+        for site in range(sites_per_customer):
+            address = (
+                (10 << 24)
+                | ((customer >> 8) << 22)
+                | ((customer & 0xFF) << 10)
+                | (site << 8)
+            )
+            sites.append(Ternary.from_prefix(address, 24, 32))
+        egress = f"vpn{customer}"
+        for src_site in sites:
+            for dst_site in sites:
+                match = Match(
+                    layout, layout.pack_match(nw_src=src_site, nw_dst=dst_site)
+                )
+                rules.append(Rule(match, priority, Forward(egress)))
+                priority -= 1
+    rules.append(Rule(Match.any(layout), 0, Drop()))
+    return rules
+
+
+def routing_policy_for_topology(
+    topology,
+    layout: HeaderLayout = FIVE_TUPLE_LAYOUT,
+    acl_rules: int = 0,
+    seed: int = 0,
+) -> Tuple[List[Rule], Dict[str, int]]:
+    """A runnable policy for a simulated topology.
+
+    Assigns each host an IPv4 address (10.0.x.y), emits one routing rule
+    per host (``nw_dst == host ip`` → ``Forward(host)``), optionally tops
+    it with ``acl_rules`` random TCP service denies between host subnets,
+    and closes with a default drop.
+
+    Returns ``(rules, host_ips)`` where ``host_ips`` maps host name →
+    address, which the traffic generators use to build matching packets.
+    """
+    rng = random.Random(seed)
+    hosts = topology.hosts()
+    if not hosts:
+        raise ValueError("topology has no hosts")
+    host_ips: Dict[str, int] = {}
+    for index, host in enumerate(hosts):
+        host_ips[host] = parse_ip("10.0.0.0") | ((index + 1) & 0xFFFF)
+
+    rules: List[Rule] = []
+    priority = acl_rules + len(hosts) + 1
+
+    services = [22, 445, 3306, 23, 161]
+    for _ in range(acl_rules):
+        victim = rng.choice(hosts)
+        match = Match(
+            layout,
+            layout.pack_match(
+                nw_dst=Ternary.exact(host_ips[victim], 32),
+                nw_proto=Ternary.exact(6, 8),
+                tp_dst=Ternary.exact(rng.choice(services), 16),
+            ),
+        )
+        rules.append(Rule(match, priority, Drop()))
+        priority -= 1
+
+    for host in hosts:
+        match = Match(
+            layout, layout.pack_match(nw_dst=Ternary.exact(host_ips[host], 32))
+        )
+        rules.append(Rule(match, priority, Forward(host)))
+        priority -= 1
+
+    rules.append(Rule(Match.any(layout), 0, Drop()))
+    return rules, host_ips

@@ -1,0 +1,139 @@
+"""Packet trace record / save / replay.
+
+The paper replays a two-day traffic trace against its prototype.  We keep
+traces as columnar numpy arrays — times, packed headers, sizes — so
+multi-hundred-thousand-packet traces load and replay quickly, and persist
+them as ``.npz`` for reuse across benchmark runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Iterator, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.flowspace.fields import HeaderLayout
+from repro.flowspace.packet import Packet
+
+__all__ = ["Trace"]
+
+
+@dataclass
+class Trace:
+    """A timed packet-header trace.
+
+    Header bits are stored as decimal strings in object arrays when wider
+    than 64 bits (numpy cannot hold 104-bit ints natively); accessors
+    always return Python ints.
+    """
+
+    times: np.ndarray            # float64 seconds, non-decreasing
+    headers: List[int]           # packed header bits
+    sizes: np.ndarray            # int32 bytes
+    layout_width: int
+
+    def __post_init__(self):
+        if not (len(self.times) == len(self.headers) == len(self.sizes)):
+            raise ValueError("trace columns must have equal length")
+        if len(self.times) > 1 and np.any(np.diff(self.times) < 0):
+            raise ValueError("trace times must be non-decreasing")
+
+    # -- constructors ------------------------------------------------------------
+    @classmethod
+    def from_events(
+        cls,
+        events: Sequence[Tuple[float, int, int]],
+        layout_width: int,
+    ) -> "Trace":
+        """Build from ``(time, header_bits, size_bytes)`` tuples (sorted)."""
+        ordered = sorted(events, key=lambda e: e[0])
+        return cls(
+            times=np.array([e[0] for e in ordered], dtype=np.float64),
+            headers=[int(e[1]) for e in ordered],
+            sizes=np.array([e[2] for e in ordered], dtype=np.int32),
+            layout_width=layout_width,
+        )
+
+    @classmethod
+    def from_headers(
+        cls,
+        headers: Sequence[int],
+        rate: float,
+        layout_width: int,
+        size_bytes: int = 64,
+    ) -> "Trace":
+        """Evenly spaced trace of ``headers`` at ``rate`` packets/second."""
+        n = len(headers)
+        return cls(
+            times=np.arange(n, dtype=np.float64) / rate,
+            headers=[int(h) for h in headers],
+            sizes=np.full(n, size_bytes, dtype=np.int32),
+            layout_width=layout_width,
+        )
+
+    # -- persistence ---------------------------------------------------------------
+    def save(self, path: Union[str, Path]) -> None:
+        """Persist to an ``.npz`` file."""
+        np.savez_compressed(
+            Path(path),
+            times=self.times,
+            headers=np.array([str(h) for h in self.headers], dtype=object),
+            sizes=self.sizes,
+            layout_width=np.array([self.layout_width]),
+        )
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "Trace":
+        """Load a trace saved by :meth:`save`."""
+        data = np.load(Path(path), allow_pickle=True)
+        return cls(
+            times=data["times"],
+            headers=[int(h) for h in data["headers"]],
+            sizes=data["sizes"],
+            layout_width=int(data["layout_width"][0]),
+        )
+
+    # -- replay -----------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.headers)
+
+    def __iter__(self) -> Iterator[Tuple[float, int, int]]:
+        for index in range(len(self.headers)):
+            yield (float(self.times[index]), self.headers[index], int(self.sizes[index]))
+
+    def header_sequence(self) -> List[int]:
+        """Just the headers, in time order (for the cache simulators)."""
+        return list(self.headers)
+
+    def duration(self) -> float:
+        """Trace span in seconds."""
+        if len(self.times) == 0:
+            return 0.0
+        return float(self.times[-1] - self.times[0])
+
+    def replay(
+        self,
+        layout: HeaderLayout,
+        send: Callable[[float, Packet], None],
+        time_offset: float = 0.0,
+        limit: Optional[int] = None,
+    ) -> int:
+        """Invoke ``send(time, packet)`` for each trace record.
+
+        ``send`` typically wraps ``network.scheduler.schedule_at`` plus an
+        injection; returns the number of packets replayed.
+        """
+        if layout.width != self.layout_width:
+            raise ValueError(
+                f"layout width {layout.width} != trace width {self.layout_width}"
+            )
+        count = 0
+        for time, header, size in self:
+            if limit is not None and count >= limit:
+                break
+            packet = Packet(layout, header, flow_id=None, size_bytes=size)
+            send(time + time_offset, packet)
+            count += 1
+        return count

@@ -1,0 +1,166 @@
+"""Traffic generation: flows, packet sequences and timed arrivals.
+
+Three levels, matching what each experiment needs:
+
+* **flow headers** — concrete 5-tuples drawn to hit a given policy
+  (weighted by each rule's flow-space share, like the paper's synthetic
+  weight assignment, or uniformly);
+* **packet sequences** — an ordered stream of headers with Zipf flow
+  popularity, for the trace-driven cache simulators;
+* **timed arrivals** — Poisson or deterministic arrival processes of
+  single-packet flows, for the event-driven throughput and delay
+  experiments (the paper's stress test is exactly "one packet per flow at
+  rate R").
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.flowspace.fields import HeaderLayout
+from repro.flowspace.packet import Packet
+from repro.flowspace.rule import Rule
+from repro.workloads.zipf import ZipfSampler
+
+__all__ = [
+    "TimedPacket",
+    "flow_headers_for_policy",
+    "packet_sequence",
+    "poisson_arrivals",
+    "host_pair_packets",
+]
+
+
+@dataclass
+class TimedPacket:
+    """One scheduled packet injection."""
+
+    time: float
+    source_host: str
+    packet: Packet
+
+
+def flow_headers_for_policy(
+    rules: Sequence[Rule],
+    count: int,
+    seed: int = 0,
+    weight_by_size: bool = True,
+    skip_terminal_default: bool = True,
+) -> List[int]:
+    """Draw ``count`` distinct-ish flow headers that exercise ``rules``.
+
+    Each flow picks a rule (weighted by the rule match's flow-space size
+    when ``weight_by_size`` — the paper's weighting — else uniformly) and
+    samples a concrete header inside the match.  Headers may actually hit
+    a higher-priority overlapping rule; that is realistic and harmless.
+    The catch-all default rule is excluded by default so traffic
+    concentrates on the interesting part of the policy.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    rng = random.Random(seed)
+    candidates = list(rules)
+    if skip_terminal_default and len(candidates) > 1 and candidates[-1].match.ternary.is_wildcard():
+        candidates = candidates[:-1]
+    if not candidates:
+        raise ValueError("no rules to draw traffic from")
+    if weight_by_size:
+        # Weight by flow-space share, rescaled relative to the widest rule
+        # so the ratios stay in float range (headers are >100 bits wide).
+        max_free = max(rule.match.ternary.wildcard_bits() for rule in candidates)
+        weights = [
+            max(2.0 ** (rule.match.ternary.wildcard_bits() - max_free), 1e-12)
+            for rule in candidates
+        ]
+    else:
+        weights = [1.0] * len(candidates)
+    headers = []
+    for _ in range(count):
+        rule = rng.choices(candidates, weights=weights, k=1)[0]
+        headers.append(rule.match.ternary.sample(rng))
+    return headers
+
+
+def packet_sequence(
+    flow_headers: Sequence[int],
+    length: int,
+    alpha: float = 1.0,
+    seed: int = 0,
+) -> List[int]:
+    """A stream of ``length`` headers with Zipf(alpha) flow popularity.
+
+    Flow popularity rank is decoupled from the order of ``flow_headers``
+    via a seeded shuffle, so popular flows are spread across the policy.
+    """
+    if not flow_headers:
+        raise ValueError("need at least one flow header")
+    sampler = ZipfSampler(len(flow_headers), alpha=alpha, seed=seed, shuffle=True)
+    return [flow_headers[i] for i in sampler.sample_many(length)]
+
+
+def poisson_arrivals(
+    rate: float,
+    duration: float,
+    seed: int = 0,
+) -> List[float]:
+    """Arrival times of a Poisson process of ``rate``/s over ``duration`` s."""
+    if rate <= 0:
+        raise ValueError(f"rate must be positive, got {rate}")
+    rng = random.Random(seed)
+    times = []
+    t = rng.expovariate(rate)
+    while t < duration:
+        times.append(t)
+        t += rng.expovariate(rate)
+    return times
+
+
+def host_pair_packets(
+    topology,
+    host_ips: Dict[str, int],
+    layout: HeaderLayout,
+    count: int,
+    rate: float,
+    seed: int = 0,
+    flow_packets: int = 1,
+    deterministic_arrivals: bool = False,
+) -> List[TimedPacket]:
+    """Timed packets between random host pairs of ``topology``.
+
+    Every flow is ``flow_packets`` back-to-back packets (1 µs apart) from a
+    random source host to a random destination host, with the destination
+    host's address in ``nw_dst`` (so the routing policy from
+    :func:`routing_policy_for_topology` forwards it) and random ephemeral
+    ports (so each flow is a distinct microflow — the paper's stress
+    pattern).
+    """
+    rng = random.Random(seed)
+    hosts = list(host_ips)
+    if len(hosts) < 2:
+        raise ValueError("need at least two hosts")
+    if deterministic_arrivals:
+        start_times = [i / rate for i in range(count)]
+    else:
+        # Exactly `count` Poisson arrivals: accumulate exponential gaps.
+        gap_rng = random.Random(seed + 1)
+        start_times = []
+        t = 0.0
+        for _ in range(count):
+            t += gap_rng.expovariate(rate)
+            start_times.append(t)
+    result: List[TimedPacket] = []
+    for flow_id, start in enumerate(start_times):
+        src, dst = rng.sample(hosts, 2)
+        header_kwargs = dict(
+            nw_src=host_ips[src],
+            nw_dst=host_ips[dst],
+            nw_proto=6,
+            tp_src=rng.randint(1024, 65535),
+            tp_dst=80,
+        )
+        for p_index in range(flow_packets):
+            packet = Packet.from_fields(layout, flow_id=flow_id, **header_kwargs)
+            result.append(TimedPacket(start + p_index * 1e-6, src, packet))
+    return result

@@ -1,0 +1,73 @@
+"""Zipf popularity sampling.
+
+Internet flow popularity is famously heavy-tailed: a few flows (and a few
+rules) carry most packets.  The cache-miss experiments rely on this, so
+the sampler is exact (inverse-CDF over the normalized Zipf weights) and
+deterministic for a given seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["ZipfSampler"]
+
+
+class ZipfSampler:
+    """Sample ranks ``0..n-1`` with probability proportional to ``1/(r+1)^alpha``.
+
+    Parameters
+    ----------
+    n:
+        Number of distinct items.
+    alpha:
+        Skew; 0 = uniform, ≈1 = classic Zipf, >1 = very heavy head.
+    seed:
+        RNG seed (numpy Generator).
+    shuffle:
+        When True, ranks are randomly permuted so popularity is not
+        correlated with item index (rule priority); default False keeps
+        rank 0 the most popular.
+    """
+
+    def __init__(self, n: int, alpha: float = 1.0, seed: int = 0, shuffle: bool = False):
+        if n < 1:
+            raise ValueError(f"need at least one item, got n={n}")
+        if alpha < 0:
+            raise ValueError(f"alpha must be non-negative, got {alpha}")
+        self.n = n
+        self.alpha = alpha
+        weights = 1.0 / np.power(np.arange(1, n + 1, dtype=np.float64), alpha)
+        self._cdf = np.cumsum(weights)
+        self._cdf /= self._cdf[-1]
+        self._rng = np.random.default_rng(seed)
+        if shuffle:
+            permutation = self._rng.permutation(n)
+        else:
+            permutation = np.arange(n)
+        self._permutation = permutation
+
+    def probability(self, rank: int) -> float:
+        """The sampling probability of popularity rank ``rank``."""
+        if not 0 <= rank < self.n:
+            raise IndexError(f"rank {rank} out of range")
+        low = self._cdf[rank - 1] if rank else 0.0
+        return float(self._cdf[rank] - low)
+
+    def sample(self) -> int:
+        """One item index."""
+        return int(self._permutation[np.searchsorted(self._cdf, self._rng.random())])
+
+    def sample_many(self, count: int) -> List[int]:
+        """``count`` item indices (vectorized)."""
+        draws = self._rng.random(count)
+        ranks = np.searchsorted(self._cdf, draws)
+        return [int(i) for i in self._permutation[ranks]]
+
+    def head_mass(self, k: int) -> float:
+        """Total probability of the ``k`` most popular items."""
+        k = min(k, self.n)
+        return float(self._cdf[k - 1]) if k else 0.0

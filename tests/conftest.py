@@ -1,0 +1,60 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.flowspace import (
+    Drop,
+    FIVE_TUPLE_LAYOUT,
+    Forward,
+    Match,
+    Rule,
+    RuleTable,
+    TWO_FIELD_LAYOUT,
+)
+
+
+@pytest.fixture
+def rng():
+    """A deterministic RNG."""
+    return random.Random(0xD1FA9E)
+
+
+@pytest.fixture
+def two_field_layout():
+    return TWO_FIELD_LAYOUT
+
+
+@pytest.fixture
+def five_tuple_layout():
+    return FIVE_TUPLE_LAYOUT
+
+
+def make_rule(layout, priority, action=None, **fields):
+    """Helper: build a rule over ``layout`` from field patterns."""
+    return Rule(
+        Match.build(layout, **fields),
+        priority,
+        action if action is not None else Forward("out"),
+    )
+
+
+@pytest.fixture
+def overlapping_table(two_field_layout):
+    """A small table with a classic dependency chain:
+
+    priority 30: f1=0000 xxxx, f2=0000 xxxx  -> drop      (narrow deny)
+    priority 20: f1=0000 xxxx                -> fwd(a)    (mid)
+    priority 10: f2=0000 xxxx                -> fwd(b)    (mid, overlaps 20)
+    priority  0: *                           -> fwd(c)    (default)
+    """
+    rules = [
+        make_rule(two_field_layout, 30, Drop(), f1="0000xxxx", f2="0000xxxx"),
+        make_rule(two_field_layout, 20, Forward("a"), f1="0000xxxx"),
+        make_rule(two_field_layout, 10, Forward("b"), f2="0000xxxx"),
+        make_rule(two_field_layout, 0, Forward("c")),
+    ]
+    return RuleTable(two_field_layout, rules)

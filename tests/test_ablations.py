@@ -1,0 +1,66 @@
+"""Tests for the extended ablation experiments (scaled down)."""
+
+import pytest
+
+from repro.experiments.ablations import (
+    run_eviction_ablation,
+    run_partition_granularity,
+    run_prefetch_ablation,
+    run_zipf_sensitivity,
+)
+
+
+class TestEvictionAblation:
+    def test_all_policies_reported(self):
+        result = run_eviction_ablation(flows=120)
+        assert [row[0] for row in result.table_rows] == ["lru", "fifo", "random"]
+        for row in result.table_rows:
+            assert 0.0 <= float(row[1]) <= 1.0
+
+    def test_undersized_cache_actually_evicts(self):
+        result = run_eviction_ablation(cache_capacity=4, flows=150)
+        assert any(int(row[2]) > 0 for row in result.table_rows)
+
+
+class TestPrefetchAblation:
+    def test_tradeoff_direction(self):
+        result = run_prefetch_ablation(prefetch_levels=[1, 8], flows=300)
+        redirects = result.series_by_label("redirects")
+        installs = result.series_by_label("cache installs")
+        assert redirects.y[1] <= redirects.y[0]
+        assert installs.y[1] >= installs.y[0]
+
+    def test_hit_rate_not_degraded(self):
+        result = run_prefetch_ablation(prefetch_levels=[1, 4], flows=300)
+        hit = result.series_by_label("hit rate")
+        assert hit.y[1] >= hit.y[0] - 1e-9
+
+
+class TestZipfSensitivity:
+    def test_wildcard_dominates_at_all_skews(self):
+        result = run_zipf_sensitivity(
+            alphas=[0.8, 1.2], n_flows=300, n_packets=3000
+        )
+        wildcard = result.series_by_label("DIFANE wildcard cache")
+        microflow = result.series_by_label("microflow cache")
+        for w, m in zip(wildcard.y, microflow.y):
+            assert w < m
+
+    def test_skew_helps_both(self):
+        result = run_zipf_sensitivity(
+            alphas=[0.6, 1.2], n_flows=300, n_packets=3000
+        )
+        for series in result.series:
+            assert series.y[1] < series.y[0]
+
+
+class TestPartitionGranularity:
+    def test_overhead_monotone(self):
+        result = run_partition_granularity(per_authority=[1, 4])
+        overhead = result.series_by_label("duplication factor")
+        assert overhead.y[0] <= overhead.y[1]
+
+    def test_imbalance_bounded(self):
+        result = run_partition_granularity(per_authority=[1, 2, 4])
+        imbalance = result.series_by_label("load imbalance (max/mean)")
+        assert all(1.0 <= ratio < 4.0 for ratio in imbalance.y)

@@ -1,0 +1,103 @@
+"""Unit tests for repro.flowspace.bits."""
+
+import pytest
+
+from repro.flowspace import bits
+
+
+class TestMaskOfWidth:
+    def test_zero_width(self):
+        assert bits.mask_of_width(0) == 0
+
+    def test_small_widths(self):
+        assert bits.mask_of_width(1) == 0b1
+        assert bits.mask_of_width(4) == 0b1111
+        assert bits.mask_of_width(8) == 0xFF
+
+    def test_wide(self):
+        assert bits.mask_of_width(104) == (1 << 104) - 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            bits.mask_of_width(-1)
+
+
+class TestBitAccess:
+    def test_bit_at(self):
+        assert bits.bit_at(0b1010, 0) == 0
+        assert bits.bit_at(0b1010, 1) == 1
+        assert bits.bit_at(0b1010, 3) == 1
+
+    def test_set_bit_on(self):
+        assert bits.set_bit(0b0000, 2, 1) == 0b0100
+
+    def test_set_bit_off(self):
+        assert bits.set_bit(0b1111, 2, 0) == 0b1011
+
+    def test_set_bit_idempotent(self):
+        assert bits.set_bit(0b0100, 2, 1) == 0b0100
+
+
+class TestPopcount:
+    def test_zero(self):
+        assert bits.popcount(0) == 0
+
+    def test_dense(self):
+        assert bits.popcount(0xFF) == 8
+
+    def test_sparse_wide(self):
+        assert bits.popcount((1 << 100) | 1) == 2
+
+
+class TestPrefixMasks:
+    def test_empty_mask_is_prefix(self):
+        assert bits.is_contiguous_prefix_mask(0, 8)
+
+    def test_full_mask_is_prefix(self):
+        assert bits.is_contiguous_prefix_mask(0xFF, 8)
+
+    def test_high_run_is_prefix(self):
+        assert bits.is_contiguous_prefix_mask(0b11100000, 8)
+
+    def test_low_run_is_not_prefix(self):
+        assert not bits.is_contiguous_prefix_mask(0b00000111, 8)
+
+    def test_gap_is_not_prefix(self):
+        assert not bits.is_contiguous_prefix_mask(0b11011000, 8)
+
+    def test_mask_exceeding_width_is_not_prefix(self):
+        assert not bits.is_contiguous_prefix_mask(0x1FF, 8)
+
+    def test_prefix_length(self):
+        assert bits.prefix_length(0b11100000, 8) == 3
+        assert bits.prefix_length(0, 8) == 0
+        assert bits.prefix_length(0xFF, 8) == 8
+
+    def test_prefix_length_rejects_non_prefix(self):
+        with pytest.raises(ValueError):
+            bits.prefix_length(0b0101, 8)
+
+
+class TestScanning:
+    def test_lowest_set_bit(self):
+        assert bits.lowest_set_bit(0) == -1
+        assert bits.lowest_set_bit(0b1000) == 3
+        assert bits.lowest_set_bit(0b1010) == 1
+
+    def test_highest_set_bit(self):
+        assert bits.highest_set_bit(0) == -1
+        assert bits.highest_set_bit(0b1000) == 3
+        assert bits.highest_set_bit(1 << 99) == 99
+
+    def test_iter_set_bits(self):
+        assert list(bits.iter_set_bits(0b101001)) == [0, 3, 5]
+        assert list(bits.iter_set_bits(0)) == []
+
+    def test_reverse_bits(self):
+        assert bits.reverse_bits(0b0001, 4) == 0b1000
+        assert bits.reverse_bits(0b1011, 4) == 0b1101
+        assert bits.reverse_bits(0, 8) == 0
+
+    def test_reverse_involution(self):
+        for value in (0, 1, 0b1010, 0xAB):
+            assert bits.reverse_bits(bits.reverse_bits(value, 8), 8) == value

@@ -1,0 +1,132 @@
+"""Unit tests for cache-rule management (eviction policies, timeouts)."""
+
+import pytest
+
+from repro.flowspace import Drop, Forward, Match, Rule, TWO_FIELD_LAYOUT
+from repro.flowspace.rule import RuleKind
+from repro.switch import CacheManager, EvictionPolicy, Tcam
+
+L = TWO_FIELD_LAYOUT
+
+
+def cache_rule(f1=None, action=None, origin=None):
+    fields = {} if f1 is None else {"f1": f1}
+    rule = Rule(
+        Match.build(L, **fields), 5, action or Forward("x"), kind=RuleKind.CACHE,
+        origin=origin,
+    )
+    return rule
+
+
+def manager(capacity=3, policy=EvictionPolicy.LRU, **kwargs):
+    tcam = Tcam(L)
+    return CacheManager(tcam, capacity=capacity, policy=policy, **kwargs)
+
+
+class TestInstall:
+    def test_install_and_occupancy(self):
+        m = manager()
+        m.install(cache_rule(f1=1), now=0.0)
+        assert m.occupancy() == 1
+        assert m.inserted == 1
+
+    def test_rejects_non_cache_rules(self):
+        m = manager()
+        policy_rule = Rule(Match.any(L), 1, Drop())
+        with pytest.raises(ValueError):
+            m.install(policy_rule, now=0.0)
+
+    def test_zero_capacity_disables(self):
+        m = manager(capacity=0)
+        assert m.install(cache_rule(f1=1), now=0.0) is None
+        assert m.occupancy() == 0
+
+    def test_duplicate_refreshes_instead_of_duplicating(self):
+        m = manager()
+        first = m.install(cache_rule(f1=1), now=0.0)
+        again = m.install(cache_rule(f1=1), now=5.0)
+        assert again is first
+        assert m.occupancy() == 1
+        assert first.last_hit_at == 5.0
+
+    def test_default_timeouts_stamped(self):
+        m = manager(default_idle_timeout=10.0, default_hard_timeout=60.0)
+        rule = m.install(cache_rule(f1=1), now=0.0)
+        assert rule.idle_timeout == 10.0
+        assert rule.hard_timeout == 60.0
+
+    def test_explicit_timeout_preserved(self):
+        m = manager(default_idle_timeout=10.0)
+        rule = cache_rule(f1=1)
+        rule.idle_timeout = 3.0
+        m.install(rule, now=0.0)
+        assert rule.idle_timeout == 3.0
+
+
+class TestEviction:
+    def test_lru_evicts_least_recent(self):
+        m = manager(capacity=2, policy=EvictionPolicy.LRU)
+        a = m.install(cache_rule(f1=1), now=0.0)
+        b = m.install(cache_rule(f1=2), now=1.0)
+        a.last_hit_at = 5.0  # a becomes more recent than b
+        m.install(cache_rule(f1=3), now=6.0)
+        remaining = {r.match.field("f1").value for r in m.cache_rules()}
+        assert remaining == {1, 3}
+        assert m.evicted == 1
+
+    def test_fifo_evicts_oldest_install(self):
+        m = manager(capacity=2, policy=EvictionPolicy.FIFO)
+        a = m.install(cache_rule(f1=1), now=0.0)
+        b = m.install(cache_rule(f1=2), now=1.0)
+        a.last_hit_at = 100.0  # activity must not matter for FIFO
+        m.install(cache_rule(f1=3), now=2.0)
+        remaining = {r.match.field("f1").value for r in m.cache_rules()}
+        assert remaining == {2, 3}
+
+    def test_random_eviction_deterministic_by_seed(self):
+        def run(seed):
+            m = manager(capacity=2, policy=EvictionPolicy.RANDOM, seed=seed)
+            for i in range(5):
+                m.install(cache_rule(f1=i), now=float(i))
+            return {r.match.field("f1").value for r in m.cache_rules()}
+
+        assert run(1) == run(1)
+
+    def test_capacity_never_exceeded(self):
+        m = manager(capacity=3)
+        for i in range(10):
+            m.install(cache_rule(f1=i), now=float(i))
+        assert m.occupancy() == 3
+
+
+class TestMaintenance:
+    def test_expire(self):
+        m = manager(default_idle_timeout=1.0)
+        m.install(cache_rule(f1=1), now=0.0)
+        fresh = m.install(cache_rule(f1=2), now=0.0)
+        fresh.last_hit_at = 4.5
+        expired = m.expire(now=5.0)
+        assert len(expired) == 1
+        assert m.occupancy() == 1
+
+    def test_invalidate_origin(self):
+        origin_a = Rule(Match.any(L), 9, Forward("a"))
+        origin_b = Rule(Match.any(L), 8, Forward("b"))
+        m = manager()
+        m.install(cache_rule(f1=1, origin=origin_a), now=0.0)
+        m.install(cache_rule(f1=2, origin=origin_a), now=0.0)
+        m.install(cache_rule(f1=3, origin=origin_b), now=0.0)
+        flushed = m.invalidate_origin(origin_a)
+        assert len(flushed) == 2
+        assert m.occupancy() == 1
+
+    def test_flush(self):
+        m = manager()
+        for i in range(3):
+            m.install(cache_rule(f1=i), now=0.0)
+        assert len(m.flush()) == 3
+        assert m.occupancy() == 0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            manager(capacity=-1)

@@ -1,0 +1,61 @@
+"""Tests for the CLI and the ASCII plotter."""
+
+import pytest
+
+from repro.analysis.asciiplot import ascii_plot
+from repro.analysis.series import Series
+from repro.cli import EXPERIMENTS, main
+
+
+class TestAsciiPlot:
+    def test_contains_markers_and_legend(self):
+        a = Series("alpha", x=[1, 2, 3], y=[10, 20, 30], x_label="k", y_label="v")
+        b = Series("beta", x=[1, 2, 3], y=[30, 20, 10])
+        text = ascii_plot([a, b], title="demo")
+        assert "demo" in text
+        assert "o alpha" in text
+        assert "x beta" in text
+        assert "[k]" in text
+
+    def test_empty(self):
+        assert ascii_plot([], title="nothing") == "nothing"
+        assert ascii_plot([Series("empty")]) == "(no data)"
+
+    def test_log_x(self):
+        series = Series("s", x=[10, 100, 1000], y=[1, 2, 3])
+        text = ascii_plot([series], log_x=True)
+        assert "(log)" in text
+
+    def test_flat_series_does_not_crash(self):
+        series = Series("flat", x=[1, 2], y=[5, 5])
+        assert "flat" in ascii_plot([series])
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for key in EXPERIMENTS:
+            assert key in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["run", "E99"]) == 2
+        assert "unknown" in capsys.readouterr().err
+
+    def test_run_quick_partitioning(self, capsys):
+        assert main(["run", "E5", "--quick", "--no-plot"]) == 0
+        out = capsys.readouterr().out
+        assert "E5-partition-tcam" in out
+        assert "campus" in out
+
+    def test_run_quick_with_plot(self, capsys):
+        assert main(["run", "E6", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "duplication" in out.lower() or "E6" in out
+
+    def test_case_insensitive(self, capsys):
+        assert main(["run", "e1", "--quick", "--no-plot"]) == 0
+        assert "E1-policies" in capsys.readouterr().out
+
+    def test_registry_covers_all_ten(self):
+        assert set(EXPERIMENTS) == {f"E{i}" for i in range(1, 11)}

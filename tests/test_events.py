@@ -1,0 +1,153 @@
+"""Unit tests for the event scheduler and service stations."""
+
+import pytest
+
+from repro.net import EventScheduler, ServiceStation
+
+
+class TestScheduler:
+    def test_runs_in_time_order(self):
+        sched = EventScheduler()
+        fired = []
+        sched.schedule(0.3, fired.append, "c")
+        sched.schedule(0.1, fired.append, "a")
+        sched.schedule(0.2, fired.append, "b")
+        sched.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_equal_times_fire_in_schedule_order(self):
+        sched = EventScheduler()
+        fired = []
+        for name in "abc":
+            sched.schedule(1.0, fired.append, name)
+        sched.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_now_advances(self):
+        sched = EventScheduler()
+        seen = []
+        sched.schedule(0.5, lambda: seen.append(sched.now))
+        sched.run()
+        assert seen == [0.5]
+        assert sched.now == 0.5
+
+    def test_run_until_stops_early(self):
+        sched = EventScheduler()
+        fired = []
+        sched.schedule(1.0, fired.append, "early")
+        sched.schedule(5.0, fired.append, "late")
+        sched.run(until=2.0)
+        assert fired == ["early"]
+        assert sched.now == 2.0  # clock advances to the horizon
+        sched.run()
+        assert fired == ["early", "late"]
+
+    def test_cancel(self):
+        sched = EventScheduler()
+        fired = []
+        handle = sched.schedule(1.0, fired.append, "x")
+        handle.cancel()
+        sched.run()
+        assert fired == []
+        assert sched.pending() == 0
+
+    def test_schedule_during_run(self):
+        sched = EventScheduler()
+        fired = []
+
+        def chain(n):
+            fired.append(n)
+            if n < 3:
+                sched.schedule(0.1, chain, n + 1)
+
+        sched.schedule(0.0, chain, 0)
+        sched.run()
+        assert fired == [0, 1, 2, 3]
+
+    def test_negative_delay_rejected(self):
+        sched = EventScheduler()
+        with pytest.raises(ValueError):
+            sched.schedule(-1.0, lambda: None)
+
+    def test_schedule_at_past_rejected(self):
+        sched = EventScheduler()
+        sched.schedule(1.0, lambda: None)
+        sched.run()
+        with pytest.raises(ValueError):
+            sched.schedule_at(0.5, lambda: None)
+
+    def test_max_events_guard(self):
+        sched = EventScheduler()
+
+        def forever():
+            sched.schedule(0.1, forever)
+
+        sched.schedule(0.0, forever)
+        fired = sched.run(max_events=10)
+        assert fired == 10
+
+
+class TestServiceStation:
+    def test_serves_at_rate(self):
+        sched = EventScheduler()
+        done = []
+        station = ServiceStation(sched, rate=10.0, on_complete=lambda i: done.append(sched.now))
+        for _ in range(3):
+            station.submit("job")
+        sched.run()
+        assert done == pytest.approx([0.1, 0.2, 0.3])
+        assert station.completed == 3
+
+    def test_queue_limit_drops(self):
+        sched = EventScheduler()
+        dropped = []
+        station = ServiceStation(
+            sched, rate=1.0, on_complete=lambda i: None,
+            queue_limit=2, on_drop=dropped.append,
+        )
+        accepted = [station.submit(i) for i in range(5)]
+        # First job goes straight into service; 2 queue; rest drop.
+        assert accepted == [True, True, True, False, False]
+        assert dropped == [3, 4]
+        sched.run()
+        assert station.completed == 3
+        assert station.dropped == 2
+
+    def test_arrivals_during_service(self):
+        sched = EventScheduler()
+        done = []
+        station = ServiceStation(sched, rate=2.0, on_complete=done.append)
+        sched.schedule(0.0, station.submit, "a")
+        sched.schedule(0.1, station.submit, "b")
+        sched.run()
+        assert done == ["a", "b"]
+        assert sched.now == pytest.approx(1.0)
+
+    def test_utilization(self):
+        sched = EventScheduler()
+        station = ServiceStation(sched, rate=10.0, on_complete=lambda i: None)
+        station.submit("x")
+        sched.run()
+        assert station.utilization(1.0) == pytest.approx(0.1)
+        assert station.utilization(0.0) == 0.0
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            ServiceStation(EventScheduler(), rate=0.0, on_complete=lambda i: None)
+
+    def test_saturation_throughput_equals_rate(self):
+        """Offered load 2× capacity: completions track the service rate."""
+        sched = EventScheduler()
+        done = []
+        station = ServiceStation(
+            sched, rate=100.0, on_complete=lambda i: done.append(sched.now),
+            queue_limit=5,
+        )
+        # Offer 200/s for 1 simulated second.
+        for i in range(200):
+            sched.schedule(i / 200.0, station.submit, i)
+        sched.run()
+        span = done[-1] - done[0]
+        measured_rate = (len(done) - 1) / span
+        assert measured_rate == pytest.approx(100.0, rel=0.05)
+        assert station.dropped > 0

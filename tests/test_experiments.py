@@ -1,0 +1,142 @@
+"""Integration tests: every experiment runs (scaled down) and shows the
+paper's qualitative shape."""
+
+import pytest
+
+from repro.experiments.caching import run_cache_miss
+from repro.experiments.delay import run_delay
+from repro.experiments.dynamics import run_dynamics
+from repro.experiments.partitioning import (
+    run_cut_ablation,
+    run_partition_overhead,
+    run_partition_tcam,
+)
+from repro.experiments.policies import policy_characteristics, run_policy_table
+from repro.experiments.scaling import run_scaling
+from repro.experiments.stretch import run_stretch
+from repro.experiments.throughput import run_throughput
+from repro.workloads.classbench import generate_classbench
+from repro.flowspace.fields import FIVE_TUPLE_LAYOUT
+
+
+@pytest.fixture(scope="module")
+def tiny_policy():
+    return generate_classbench("acl", count=150, seed=0, layout=FIVE_TUPLE_LAYOUT)
+
+
+class TestE1Policies:
+    def test_table_rows(self, tiny_policy):
+        result = run_policy_table({"tiny": tiny_policy})
+        assert len(result.table_rows) == 1
+        name, rules, *_ = result.table_rows[0]
+        assert name == "tiny"
+        assert rules == 150
+
+    def test_characteristics_fields(self, tiny_policy):
+        stats = policy_characteristics(tiny_policy, sample=50)
+        assert stats["rules"] == 150
+        assert 0 <= stats["deny_fraction"] <= 1
+        assert stats["max_overlap_depth"] >= 1
+
+
+class TestE2Throughput:
+    def test_shape(self):
+        result = run_throughput(
+            rates=[25e3, 200e3, 1.2e6], flows_per_point=400, scale=0.01
+        )
+        difane = result.series_by_label("DIFANE")
+        nox = result.series_by_label("NOX")
+        # Below both capacities, both keep up.
+        assert difane.y[0] == pytest.approx(25e3, rel=0.15)
+        assert nox.y[0] == pytest.approx(25e3, rel=0.15)
+        # Above the controller's capacity, NOX saturates near 50K...
+        assert nox.y[-1] == pytest.approx(50e3, rel=0.25)
+        # ...while DIFANE still scales to the authority switch's capacity.
+        assert difane.y[-1] == pytest.approx(800e3, rel=0.25)
+        assert difane.y[-1] > 5 * nox.y[-1]
+
+
+class TestE3Scaling:
+    def test_linear_scaling(self):
+        result = run_scaling(authority_counts=[1, 2], flows_per_point=500, scale=0.01)
+        difane = result.series_by_label("DIFANE")
+        nox = result.series_by_label("NOX")
+        assert difane.y[1] > 1.6 * difane.y[0]
+        # NOX does not benefit from more authority switches.
+        assert nox.y[1] == pytest.approx(nox.y[0], rel=0.25)
+
+
+class TestE4Delay:
+    def test_orders_of_magnitude_gap(self):
+        result = run_delay(flows=60)
+        difane_first = result.notes["difane_first_median_ms"]
+        nox_first = result.notes["nox_first_median_ms"]
+        assert difane_first < 1.0       # sub-millisecond detour
+        assert nox_first > 5.0          # controller RTT dominates
+        assert nox_first > 10 * difane_first
+
+
+class TestE5E6Partitioning:
+    def test_tcam_shrinks_with_partitions(self, tiny_policy):
+        result = run_partition_tcam(
+            partition_counts=[1, 8], policies={"tiny": tiny_policy}
+        )
+        series = result.series_by_label("tiny")
+        assert series.y[0] > series.y[1]
+
+    def test_overhead_grows_mildly(self, tiny_policy):
+        result = run_partition_overhead(
+            partition_counts=[1, 8], policies={"tiny": tiny_policy}
+        )
+        series = result.series_by_label("tiny")
+        assert series.y[0] == pytest.approx(1.0)
+        assert 1.0 <= series.y[1] < 3.0
+
+
+class TestE7Caching:
+    def test_wildcard_dominates_microflow(self, tiny_policy):
+        result = run_cache_miss(
+            policy=tiny_policy, cache_sizes=[5, 40], n_flows=250, n_packets=2500
+        )
+        wildcard = result.series_by_label("DIFANE wildcard cache")
+        microflow = result.series_by_label("microflow cache")
+        for w, m in zip(wildcard.y, microflow.y):
+            assert w <= m
+        # And miss rate falls with cache size.
+        assert wildcard.y[-1] < wildcard.y[0]
+
+
+class TestE8Stretch:
+    def test_strategies_reported(self):
+        result = run_stretch(flows=100, switch_count=12)
+        labels = {s.label for s in result.series}
+        assert labels == {"random", "degree", "central", "spread"}
+        # Stretch is always >= 1 by definition.
+        for series in result.series:
+            assert all(x >= 1.0 for x in series.x)
+
+    def test_central_no_worse_than_random(self):
+        result = run_stretch(flows=150, switch_count=12)
+        rows = {row[0]: float(row[2]) for row in result.table_rows}  # mean
+        assert rows["central"] <= rows["random"] * 1.1
+
+
+class TestE9Dynamics:
+    def test_scenario_completes_consistently(self):
+        result = run_dynamics(churn_steps=10, warm_flows=40)
+        assert result.notes["mismatches"] == 0
+        events = {row[0] for row in result.table_rows}
+        assert "link failure" in events
+        assert "authority failover" in events
+        # The separation claim: link failure costs zero control messages.
+        link_row = next(r for r in result.table_rows if r[0] == "link failure")
+        assert link_row[3] == "0"
+
+
+class TestE10Ablation:
+    def test_split_aware_never_worse(self, tiny_policy):
+        result = run_cut_ablation(partition_counts=[4, 16], policy=tiny_policy)
+        aware = result.series_by_label("split-aware")
+        naive = result.series_by_label("occupancy")
+        for a, n in zip(aware.y, naive.y):
+            assert a <= n

@@ -1,0 +1,39 @@
+"""Tests for the failover-transient experiment (A6)."""
+
+import pytest
+
+from repro.experiments.failover import run_failover_transient
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_failover_transient(rate=2_000.0, duration=0.3, failure_time=0.15)
+
+
+class TestFailoverTransient:
+    def test_replicated_design_is_lossless(self, result):
+        assert result.notes["replicated_drops"] == 0
+
+    def test_controller_repair_loses_packets(self, result):
+        # Roughly: rate × detection window × (failed switch's load share).
+        assert result.notes["repair_drops"] > 0
+
+    def test_failovers_happen_only_in_replicated_design(self, result):
+        rows = {row[0]: row for row in result.table_rows}
+        assert rows["data-plane failover"][3] > 0
+        assert rows["controller repair"][3] == 0
+
+    def test_timelines_reported(self, result):
+        labels = {s.label for s in result.series}
+        assert labels == {"data-plane failover", "controller repair"}
+        for series in result.series:
+            assert len(series) >= 3
+
+    def test_repair_restores_service(self, result):
+        """After the controller repair, the delivery rate recovers."""
+        repaired = result.series_by_label("controller repair")
+        failure = result.notes["failure_time"]
+        repair = failure + result.notes["detection_delay_s"]
+        tail = [y for x, y in zip(repaired.x, repaired.y) if x > repair + 0.02]
+        assert tail, "no samples after the repair window"
+        assert max(tail) > 0

@@ -1,0 +1,154 @@
+"""Tests for the operator-facing OpenFlow frontend."""
+
+import pytest
+
+from repro.core import DifaneNetwork
+from repro.core.frontend import DifaneFrontend, VIRTUAL_SWITCH
+from repro.flowspace import (
+    Drop,
+    FIVE_TUPLE_LAYOUT,
+    Forward,
+    Match,
+    Packet,
+    Rule,
+    Ternary,
+)
+from repro.net import TopologyBuilder
+from repro.openflow.messages import (
+    BarrierRequest,
+    FlowMod,
+    FlowModCommand,
+    PacketIn,
+    StatsRequest,
+)
+from repro.workloads.policies import routing_policy_for_topology
+
+L = FIVE_TUPLE_LAYOUT
+
+
+@pytest.fixture
+def world():
+    topo = TopologyBuilder.linear(3, hosts_per_switch=1)
+    rules, host_ips = routing_policy_for_topology(topo, L)
+    dn = DifaneNetwork.build(
+        topo, rules, L, authority_switches=["s1"], cache_capacity=64,
+        redirect_rate=None,
+    )
+    return dn, topo, host_ips, DifaneFrontend(dn.controller)
+
+
+def ssh_block(host_ips, host="h2", priority=50_000):
+    return Rule(
+        Match.build(L, nw_dst=Ternary.exact(host_ips[host], 32),
+                    nw_proto=Ternary.exact(6, 8),
+                    tp_dst=Ternary.exact(22, 16)),
+        priority=priority,
+        actions=Drop(),
+    )
+
+
+class TestFlowMods:
+    def test_add_is_live_immediately(self, world):
+        dn, topo, host_ips, frontend = world
+        rule = ssh_block(host_ips)
+        assert frontend.handle_message(
+            FlowMod(switch=VIRTUAL_SWITCH, command=FlowModCommand.ADD, rule=rule)
+        ) is None
+        assert rule in dn.controller.policy
+        packet = Packet.from_fields(
+            L, nw_dst=host_ips["h2"], nw_proto=6, tp_src=9, tp_dst=22
+        )
+        dn.send("h0", packet)
+        dn.run()
+        assert dn.network.dropped()[-1].drop_reason == "policy drop"
+
+    def test_delete_by_match(self, world):
+        dn, topo, host_ips, frontend = world
+        rule = ssh_block(host_ips)
+        frontend.handle_message(
+            FlowMod(switch=VIRTUAL_SWITCH, command=FlowModCommand.ADD, rule=rule)
+        )
+        frontend.handle_message(
+            FlowMod(switch=VIRTUAL_SWITCH, command=FlowModCommand.DELETE,
+                    match=rule.match)
+        )
+        assert rule not in dn.controller.policy
+        packet = Packet.from_fields(
+            L, nw_dst=host_ips["h2"], nw_proto=6, tp_src=9, tp_dst=22
+        )
+        dn.send("h0", packet)
+        dn.run()
+        assert dn.network.delivered()[-1].endpoint == "h2"
+
+    def test_modify_replaces_actions(self, world):
+        dn, topo, host_ips, frontend = world
+        rule = ssh_block(host_ips)
+        frontend.handle_message(
+            FlowMod(switch=VIRTUAL_SWITCH, command=FlowModCommand.ADD, rule=rule)
+        )
+        # Re-point the same match at a forward action instead.
+        replacement = Rule(rule.match, rule.priority, Forward("h1"))
+        frontend.handle_message(
+            FlowMod(switch=VIRTUAL_SWITCH, command=FlowModCommand.MODIFY,
+                    rule=replacement)
+        )
+        packet = Packet.from_fields(
+            L, nw_dst=host_ips["h2"], nw_proto=6, tp_src=9, tp_dst=22
+        )
+        dn.send("h0", packet)
+        dn.run()
+        assert dn.network.delivered()[-1].endpoint == "h1"
+
+    def test_modify_without_existing_behaves_like_add(self, world):
+        dn, topo, host_ips, frontend = world
+        rule = ssh_block(host_ips)
+        frontend.handle_message(
+            FlowMod(switch=VIRTUAL_SWITCH, command=FlowModCommand.MODIFY, rule=rule)
+        )
+        assert rule in dn.controller.policy
+
+    def test_add_without_rule_is_error(self, world):
+        dn, topo, host_ips, frontend = world
+        frontend.handle_message(
+            FlowMod(switch=VIRTUAL_SWITCH, command=FlowModCommand.ADD)
+        )
+        assert frontend.errors == 1
+
+
+class TestStatsAndBarrier:
+    def test_stats_reflect_traffic(self, world):
+        dn, topo, host_ips, frontend = world
+        for sport in (100, 200, 300):
+            packet = Packet.from_fields(
+                L, nw_dst=host_ips["h2"], nw_proto=6, tp_src=sport, tp_dst=80
+            )
+            dn.send("h0", packet)
+            dn.run()
+        reply = frontend.handle_message(StatsRequest(switch=VIRTUAL_SWITCH))
+        assert reply.switch == VIRTUAL_SWITCH
+        by_rule = {rule: packets for rule, packets, _ in reply.entries}
+        routed = [r for r in dn.controller.policy
+                  if r.actions.final_forward()
+                  and r.actions.final_forward().port == "h2"]
+        assert len(routed) == 1
+        assert by_rule[routed[0]] == 3
+
+    def test_stats_filter_by_match(self, world):
+        dn, topo, host_ips, frontend = world
+        target = dn.controller.policy[0]
+        reply = frontend.handle_message(
+            StatsRequest(switch=VIRTUAL_SWITCH, match=target.match)
+        )
+        assert [entry[0] for entry in reply.entries] == [target]
+
+    def test_barrier_echoes_xid(self, world):
+        dn, topo, host_ips, frontend = world
+        request = BarrierRequest(switch=VIRTUAL_SWITCH)
+        reply = frontend.handle_message(request)
+        assert reply.request_xid == request.xid
+
+    def test_unknown_message_is_error(self, world):
+        dn, topo, host_ips, frontend = world
+        packet_in = PacketIn(switch="x", packet=Packet.from_fields(L))
+        assert frontend.handle_message(packet_in) is None
+        assert frontend.errors == 1

@@ -1,0 +1,125 @@
+"""Behavioural tests for the NOX and proactive baselines."""
+
+import pytest
+
+from repro.baselines import NoxNetwork, ProactiveNetwork
+from repro.flowspace import FIVE_TUPLE_LAYOUT, Packet
+from repro.net import TopologyBuilder
+from repro.workloads.policies import routing_policy_for_topology
+
+L = FIVE_TUPLE_LAYOUT
+
+
+def build_nox(**kwargs):
+    topo = TopologyBuilder.linear(3, hosts_per_switch=1)
+    rules, host_ips = routing_policy_for_topology(topo, L)
+    nn = NoxNetwork.build(topo, rules, L, **kwargs)
+    return nn, topo, host_ips
+
+
+def flow_packet(host_ips, dst="h2", sport=2000):
+    return Packet.from_fields(
+        L, nw_src=0x0A0A0A0A, nw_dst=host_ips[dst], nw_proto=6,
+        tp_src=sport, tp_dst=80,
+    )
+
+
+class TestNoxBasics:
+    def test_first_packet_via_controller(self):
+        nn, topo, host_ips = build_nox()
+        nn.send("h0", flow_packet(host_ips))
+        nn.run()
+        delivered = nn.network.delivered()
+        assert len(delivered) == 1
+        assert delivered[0].via_controller
+        assert nn.controller.flow_setups == 1
+
+    def test_microflow_installed(self):
+        nn, topo, host_ips = build_nox()
+        nn.send("h0", flow_packet(host_ips))
+        nn.run()
+        assert len(nn.switch("s0").flow_table) == 1
+
+    def test_second_packet_hits_flow_table(self):
+        nn, topo, host_ips = build_nox()
+        nn.send("h0", flow_packet(host_ips, sport=2000))
+        nn.run()
+        nn.send("h0", flow_packet(host_ips, sport=2000))
+        nn.run()
+        assert nn.switch("s0").flow_hits == 1
+        assert nn.controller.flow_setups == 1
+        second = nn.network.delivered()[1]
+        assert not second.via_controller
+
+    def test_microflow_does_not_cover_siblings(self):
+        """Unlike DIFANE's wildcard cache, a different microflow to the
+        same destination punts again — the contrast experiment E7 measures."""
+        nn, topo, host_ips = build_nox()
+        nn.send("h0", flow_packet(host_ips, sport=2000))
+        nn.run()
+        nn.send("h0", flow_packet(host_ips, sport=3000))
+        nn.run()
+        assert nn.controller.flow_setups == 2
+
+    def test_first_packet_pays_control_rtt(self):
+        nn, topo, host_ips = build_nox(control_latency_s=3e-3)
+        nn.send("h0", flow_packet(host_ips))
+        nn.run()
+        assert nn.network.delivered()[0].delay >= 6e-3
+
+    def test_policy_miss_dropped(self):
+        nn, topo, host_ips = build_nox()
+        packet = Packet.from_fields(L, nw_dst=0x01020304, nw_proto=6)
+        nn.send("h0", packet)
+        nn.run()
+        dropped = nn.network.dropped()
+        assert len(dropped) == 1
+        assert dropped[0].drop_reason == "policy drop"  # default deny rule
+
+
+class TestNoxOverload:
+    def test_controller_saturation_drops_flows(self):
+        nn, topo, host_ips = build_nox(controller_rate=100.0, controller_queue=5)
+        for sport in range(2000, 2100):
+            nn.send_at(sport * 1e-5, "h0", flow_packet(host_ips, sport=sport))
+        nn.run()
+        assert nn.controller.messages_dropped > 0
+        reasons = {r.drop_reason for r in nn.network.dropped()}
+        assert "controller overloaded" in reasons
+
+    def test_flow_table_capacity_lru(self):
+        nn, topo, host_ips = build_nox(flow_table_capacity=2)
+        for sport in (2000, 2001, 2002):
+            nn.send("h0", flow_packet(host_ips, sport=sport))
+            nn.run()
+        switch = nn.switch("s0")
+        assert len(switch.flow_table) == 2
+        assert switch.table_evictions == 1
+
+
+class TestProactive:
+    def test_full_policy_everywhere(self):
+        topo = TopologyBuilder.linear(3, hosts_per_switch=1)
+        rules, host_ips = routing_policy_for_topology(topo, L)
+        pn = ProactiveNetwork.build(topo, rules, L)
+        for switch in pn.switches():
+            assert switch.tcam_footprint == len(rules)
+
+    def test_delivery_without_any_detour(self):
+        topo = TopologyBuilder.linear(3, hosts_per_switch=1)
+        rules, host_ips = routing_policy_for_topology(topo, L)
+        pn = ProactiveNetwork.build(topo, rules, L)
+        pn.send("h0", flow_packet(host_ips))
+        pn.run()
+        record = pn.network.delivered()[0]
+        assert record.endpoint == "h2"
+        assert not record.via_authority
+        assert not record.via_controller
+
+    def test_counters_preserved_per_switch(self):
+        topo = TopologyBuilder.linear(2, hosts_per_switch=1)
+        rules, host_ips = routing_policy_for_topology(topo, L)
+        pn = ProactiveNetwork.build(topo, rules, L)
+        pn.send("h0", flow_packet(host_ips, dst="h1"))
+        pn.run()
+        assert pn.switches()[0].policy_hits == 1

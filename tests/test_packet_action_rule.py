@@ -1,0 +1,195 @@
+"""Unit tests for packets, actions and rules."""
+
+import random
+
+import pytest
+
+from repro.flowspace import (
+    ActionList,
+    Drop,
+    Encapsulate,
+    FIVE_TUPLE_LAYOUT,
+    Forward,
+    Match,
+    Packet,
+    Rule,
+    SendToController,
+    SetField,
+    Ternary,
+    TWO_FIELD_LAYOUT,
+)
+from repro.flowspace.rule import RuleKind
+
+
+class TestPacket:
+    def test_from_fields(self):
+        p = Packet.from_fields(FIVE_TUPLE_LAYOUT, nw_src=0x0A000001, tp_dst=443)
+        assert p.field("nw_src") == 0x0A000001
+        assert p.field("tp_dst") == 443
+        assert p.field("nw_dst") == 0
+
+    def test_fields_dict(self):
+        p = Packet.from_fields(TWO_FIELD_LAYOUT, f1=3, f2=7)
+        assert p.fields() == {"f1": 3, "f2": 7}
+
+    def test_flow_key_is_header(self):
+        p = Packet.from_fields(TWO_FIELD_LAYOUT, f1=1)
+        assert p.flow_key() == p.header_bits
+
+    def test_packet_ids_unique(self):
+        a = Packet.from_fields(TWO_FIELD_LAYOUT)
+        b = Packet.from_fields(TWO_FIELD_LAYOUT)
+        assert a.packet_id != b.packet_id
+
+    def test_encapsulation_cycle(self):
+        p = Packet.from_fields(TWO_FIELD_LAYOUT)
+        assert not p.is_encapsulated
+        p.encapsulate("auth0")
+        assert p.is_encapsulated
+        assert p.encap_destination == "auth0"
+        p.decapsulate()
+        assert not p.is_encapsulated
+
+    def test_random_packet_in_range(self):
+        rng = random.Random(1)
+        p = Packet.random(TWO_FIELD_LAYOUT, rng)
+        assert 0 <= p.header_bits < (1 << 16)
+
+    def test_describe_mentions_ips(self):
+        p = Packet.from_fields(FIVE_TUPLE_LAYOUT, nw_src=0x0A000001)
+        assert "10.0.0.1" in p.describe()
+
+
+class TestActions:
+    def test_equality(self):
+        assert Forward("a") == Forward("a")
+        assert Forward("a") != Forward("b")
+        assert Drop() == Drop()
+        assert SendToController() == SendToController()
+        assert Encapsulate("x") == Encapsulate("x")
+
+    def test_action_list_flattens(self):
+        inner = ActionList(SetField("f1", 3), Forward("a"))
+        outer = ActionList(inner)
+        assert list(outer) == [SetField("f1", 3), Forward("a")]
+
+    def test_action_list_equality_and_hash(self):
+        a = ActionList(Forward("x"))
+        b = ActionList(Forward("x"))
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_is_drop(self):
+        assert ActionList(Drop()).is_drop
+        assert not ActionList(Forward("a")).is_drop
+
+    def test_final_forward(self):
+        al = ActionList(SetField("f1", 1), Forward("z"))
+        assert al.final_forward() == Forward("z")
+        assert ActionList(Drop()).final_forward() is None
+
+    def test_set_field_non_terminal(self):
+        assert not SetField("f1", 1).terminal
+        assert Forward("a").terminal
+
+
+class TestMatch:
+    def test_matches_packet(self):
+        m = Match.build(TWO_FIELD_LAYOUT, f1="0000xxxx")
+        assert m.matches_packet(Packet.from_fields(TWO_FIELD_LAYOUT, f1=5))
+        assert not m.matches_packet(Packet.from_fields(TWO_FIELD_LAYOUT, f1=200))
+
+    def test_layout_mismatch_raises(self):
+        m = Match.any(TWO_FIELD_LAYOUT)
+        with pytest.raises(ValueError):
+            m.matches_packet(Packet.from_fields(FIVE_TUPLE_LAYOUT))
+
+    def test_intersection_and_subtract(self):
+        a = Match.build(TWO_FIELD_LAYOUT, f1="0000xxxx")
+        b = Match.build(TWO_FIELD_LAYOUT, f2="0000xxxx")
+        overlap = a.intersection(b)
+        assert overlap is not None
+        assert a.covers(overlap)
+        remainder = a.subtract(b)
+        for piece in remainder:
+            assert a.covers(piece)
+            assert not piece.intersects(b)
+
+    def test_field_accessor(self):
+        m = Match.build(TWO_FIELD_LAYOUT, f1=9)
+        assert m.field("f1") == Ternary.exact(9, 8)
+        assert m.field("f2").is_wildcard()
+
+    def test_match_width_checked(self):
+        with pytest.raises(ValueError):
+            Match(TWO_FIELD_LAYOUT, Ternary.wildcard(8))
+
+
+class TestRule:
+    def make(self, priority=10, **fields):
+        return Rule(Match.build(TWO_FIELD_LAYOUT, **fields), priority, Forward("a"))
+
+    def test_actions_coerced_to_list(self):
+        rule = self.make()
+        assert isinstance(rule.actions, ActionList)
+
+    def test_negative_priority_rejected(self):
+        with pytest.raises(ValueError):
+            self.make(priority=-1)
+
+    def test_counters(self):
+        rule = self.make(f1=1)
+        p = Packet.from_fields(TWO_FIELD_LAYOUT, f1=1)
+        p.size_bytes = 100
+        rule.record_hit(p, now=1.5)
+        assert rule.packet_count == 1
+        assert rule.byte_count == 100
+        assert rule.last_hit_at == 1.5
+
+    def test_derive_tracks_origin(self):
+        base = self.make()
+        frag = base.derive(kind=RuleKind.CACHE)
+        frag2 = frag.derive()
+        assert frag.origin is base
+        assert frag2.root_origin() is base
+        assert base.root_origin() is base
+
+    def test_clip_to_inside(self):
+        rule = self.make(f1="0000xxxx")
+        clipped = rule.clip_to(Ternary.wildcard(16))
+        assert clipped.match == rule.match
+        assert clipped.origin is rule
+
+    def test_clip_to_partial(self):
+        rule = self.make()  # matches everything
+        region = Ternary.from_string("0" + "x" * 15)
+        clipped = rule.clip_to(region)
+        assert clipped.match.ternary == region
+
+    def test_clip_to_disjoint(self):
+        rule = self.make(f1="00000000")
+        region = Ternary.from_string("1" + "x" * 15)
+        assert rule.clip_to(region) is None
+
+    def test_idle_timeout(self):
+        rule = self.make()
+        rule.idle_timeout = 1.0
+        rule.installed_at = 0.0
+        assert not rule.is_expired(0.5)
+        assert rule.is_expired(1.5)
+        rule.last_hit_at = 1.2
+        assert not rule.is_expired(1.5)
+        assert rule.is_expired(2.3)
+
+    def test_hard_timeout(self):
+        rule = self.make()
+        rule.hard_timeout = 2.0
+        rule.installed_at = 0.0
+        rule.last_hit_at = 1.9  # activity does not save it
+        assert not rule.is_expired(1.9)
+        assert rule.is_expired(2.0)
+
+    def test_no_timeouts_never_expires(self):
+        rule = self.make()
+        rule.installed_at = 0.0
+        assert not rule.is_expired(1e9)

@@ -1,0 +1,106 @@
+"""Unit tests for the DIFANE pipeline and counter aggregation."""
+
+import pytest
+
+from repro.flowspace import (
+    Drop,
+    Encapsulate,
+    Forward,
+    Match,
+    Packet,
+    Rule,
+    TWO_FIELD_LAYOUT,
+)
+from repro.flowspace.rule import RuleKind
+from repro.switch import DifanePipeline, aggregate_counters
+from repro.switch.pipeline import PipelineStage
+
+L = TWO_FIELD_LAYOUT
+
+
+def rule(kind, priority=1, action=None, **fields):
+    return Rule(Match.build(L, **fields), priority, action or Forward("x"), kind=kind)
+
+
+class TestPipelineStages:
+    def build(self):
+        pipe = DifanePipeline(L)
+        pipe.install(rule(RuleKind.CACHE, priority=5, f1=1))
+        pipe.install(rule(RuleKind.AUTHORITY, priority=5, f1=2))
+        pipe.install(rule(RuleKind.PARTITION, priority=0, action=Encapsulate("auth")))
+        return pipe
+
+    def test_cache_stage_first(self):
+        pipe = self.build()
+        result = pipe.lookup(Packet.from_fields(L, f1=1))
+        assert result.stage is PipelineStage.CACHE
+        assert not result.is_miss
+
+    def test_authority_stage_second(self):
+        pipe = self.build()
+        result = pipe.lookup(Packet.from_fields(L, f1=2))
+        assert result.stage is PipelineStage.AUTHORITY
+
+    def test_partition_stage_catches_rest(self):
+        pipe = self.build()
+        result = pipe.lookup(Packet.from_fields(L, f1=99))
+        assert result.stage is PipelineStage.PARTITION
+
+    def test_cache_shadows_authority(self):
+        """Stage order dominates priority: a low-priority cache rule beats a
+        high-priority authority rule — the banded-TCAM arrangement."""
+        pipe = DifanePipeline(L)
+        cache = rule(RuleKind.CACHE, priority=1, f1=7)
+        auth = rule(RuleKind.AUTHORITY, priority=99, f1=7)
+        pipe.install(cache)
+        pipe.install(auth)
+        result = pipe.lookup(Packet.from_fields(L, f1=7))
+        assert result.rule is cache
+
+    def test_total_miss(self):
+        pipe = DifanePipeline(L)
+        result = pipe.lookup(Packet.from_fields(L))
+        assert result.is_miss
+        assert result.stage is PipelineStage.MISS
+        assert pipe.misses == 1
+
+    def test_install_rejects_other_kinds(self):
+        pipe = DifanePipeline(L)
+        with pytest.raises(ValueError):
+            pipe.install(rule(RuleKind.POLICY))
+
+    def test_capacities_apply_per_region(self):
+        from repro.switch import TcamFullError
+        pipe = DifanePipeline(L, cache_capacity=1)
+        pipe.install(rule(RuleKind.CACHE, f1=1))
+        with pytest.raises(TcamFullError):
+            pipe.install(rule(RuleKind.CACHE, f1=2))
+        # Authority region is unaffected.
+        pipe.install(rule(RuleKind.AUTHORITY, f1=3))
+        assert pipe.total_entries() == 2
+
+
+class TestCounterAggregation:
+    def test_fold_to_origin(self):
+        policy = Rule(Match.any(L), 9, Forward("a"))
+        frag1 = policy.derive(kind=RuleKind.AUTHORITY)
+        frag2 = frag1.derive(kind=RuleKind.CACHE)
+        packet = Packet.from_fields(L)
+        packet.size_bytes = 100
+        frag1.record_hit(packet)
+        frag2.record_hit(packet)
+        frag2.record_hit(packet)
+        policy.record_hit(packet)
+        totals = aggregate_counters([policy, frag1, frag2])
+        assert set(totals) == {policy}
+        snapshot = totals[policy]
+        assert snapshot.packets == 4
+        assert snapshot.bytes == 400
+        assert snapshot.fragments == 3
+
+    def test_independent_origins_stay_separate(self):
+        a = Rule(Match.any(L), 1, Forward("a"))
+        b = Rule(Match.any(L), 2, Forward("b"))
+        totals = aggregate_counters([a, b, a.derive()])
+        assert set(totals) == {a, b}
+        assert totals[a].fragments == 2

@@ -1,0 +1,62 @@
+"""Unit tests for authority-switch placement."""
+
+import pytest
+
+from repro.core import choose_authority_switches
+from repro.net import TopologyBuilder
+
+
+@pytest.fixture
+def star():
+    return TopologyBuilder.star(6, hosts_per_leaf=1)
+
+
+class TestStrategies:
+    def test_degree_picks_hub(self, star):
+        chosen = choose_authority_switches(star, 1, strategy="degree")
+        assert chosen == ["hub"]
+
+    def test_central_picks_hub(self, star):
+        chosen = choose_authority_switches(star, 1, strategy="central")
+        assert chosen == ["hub"]
+
+    def test_random_deterministic_by_seed(self, star):
+        a = choose_authority_switches(star, 3, strategy="random", seed=2)
+        b = choose_authority_switches(star, 3, strategy="random", seed=2)
+        assert a == b
+        assert len(set(a)) == 3
+
+    def test_random_varies_with_seed(self, star):
+        samples = {
+            tuple(choose_authority_switches(star, 3, strategy="random", seed=s))
+            for s in range(8)
+        }
+        assert len(samples) > 1
+
+    def test_spread_maximizes_distance(self):
+        topo = TopologyBuilder.linear(7)
+        chosen = choose_authority_switches(topo, 2, strategy="spread")
+        # The two chosen switches should include an endpoint pair far apart.
+        assert "s3" in chosen  # the most central first pick
+        assert "s0" in chosen or "s6" in chosen
+
+    def test_requested_count_returned(self, star):
+        for strategy in ("random", "degree", "central", "spread"):
+            chosen = choose_authority_switches(star, 4, strategy=strategy)
+            assert len(chosen) == 4
+            assert len(set(chosen)) == 4
+
+    def test_count_validation(self, star):
+        with pytest.raises(ValueError):
+            choose_authority_switches(star, 0)
+        with pytest.raises(ValueError):
+            choose_authority_switches(star, 100)
+
+    def test_unknown_strategy(self, star):
+        with pytest.raises(ValueError):
+            choose_authority_switches(star, 1, strategy="bogus")
+
+    def test_only_switches_chosen(self, star):
+        chosen = choose_authority_switches(star, 5, strategy="random", seed=0)
+        hosts = set(star.hosts())
+        assert not hosts.intersection(chosen)

@@ -1,0 +1,145 @@
+"""Unit tests for the SimNetwork harness."""
+
+import pytest
+
+from repro.flowspace import Packet, TWO_FIELD_LAYOUT
+from repro.net import SimNetwork, TopologyBuilder
+from repro.net.simnet import CONTROL_OVERHEAD_S
+
+
+class EchoSwitch:
+    """Minimal behaviour: forward every packet toward a fixed host."""
+
+    def __init__(self, name, destination):
+        self.name = name
+        self.destination = destination
+        self.network = None
+        self.seen = 0
+
+    def attach(self, network):
+        self.network = network
+
+    def handle_packet(self, network, packet):
+        self.seen += 1
+        network.forward_toward(self.name, self.destination, packet)
+
+
+def build_net():
+    topo = TopologyBuilder.linear(3, hosts_per_switch=1)
+    net = SimNetwork(topo)
+    for name in topo.switches():
+        net.register_node(EchoSwitch(name, "h2"))
+    return topo, net
+
+
+class TestDelivery:
+    def test_end_to_end_delivery(self):
+        topo, net = build_net()
+        packet = Packet.from_fields(TWO_FIELD_LAYOUT)
+        net.inject_from_host("h0", packet)
+        net.run()
+        delivered = net.delivered()
+        assert len(delivered) == 1
+        record = delivered[0]
+        assert record.endpoint == "h2"
+        assert record.delivered
+        assert record.hops == 4  # h0->s0->s1->s2->h2
+        assert record.delay > 0
+
+    def test_inject_at_switch_skips_host_hop(self):
+        topo, net = build_net()
+        packet = Packet.from_fields(TWO_FIELD_LAYOUT)
+        net.inject_at_switch("s0", packet)
+        net.run()
+        assert net.delivered()[0].hops == 3
+
+    def test_ingress_recorded(self):
+        topo, net = build_net()
+        packet = Packet.from_fields(TWO_FIELD_LAYOUT)
+        net.inject_from_host("h1", packet)
+        net.run()
+        assert net.delivered()[0].ingress_switch == "s1"
+
+    def test_unregistered_switch_drops(self):
+        topo = TopologyBuilder.linear(2, hosts_per_switch=1)
+        net = SimNetwork(topo)  # no behaviours registered
+        packet = Packet.from_fields(TWO_FIELD_LAYOUT)
+        net.inject_from_host("h0", packet)
+        net.run()
+        dropped = net.dropped()
+        assert len(dropped) == 1
+        assert "no behaviour" in dropped[0].drop_reason
+
+    def test_register_unknown_node_rejected(self):
+        topo, net = build_net()
+        with pytest.raises(KeyError):
+            net.register_node(EchoSwitch("ghost", "h0"))
+
+
+class TestForwarding:
+    def test_forward_toward_unreachable_drops(self):
+        topo = TopologyBuilder.linear(2, hosts_per_switch=1)
+        topo.remove_link("s0", "s1")
+        net = SimNetwork(topo)
+        for name in topo.switches():
+            net.register_node(EchoSwitch(name, "h1"))
+        packet = Packet.from_fields(TWO_FIELD_LAYOUT)
+        net.inject_from_host("h0", packet)
+        net.run()
+        assert len(net.dropped()) == 1
+        assert "unreachable" in net.dropped()[0].drop_reason
+
+    def test_rebuild_routes_after_change(self):
+        topo = TopologyBuilder.star(3, hosts_per_leaf=1)
+        net = SimNetwork(topo)
+        for name in topo.switches():
+            net.register_node(EchoSwitch(name, "h2"))
+        # Cut s2's link and verify re-route failure then recovery.
+        assert net.routes.reachable("s0", "s2")
+        topo.remove_link("hub", "s2")
+        net.rebuild_routes()
+        assert not net.routes.reachable("s0", "s2")
+        topo.add_link("hub", "s2")
+        net.rebuild_routes()
+        assert net.routes.reachable("s0", "s2")
+
+
+class TestControlMessages:
+    def test_send_control_latency(self):
+        topo, net = build_net()
+        fired = []
+        net.send_control("s0", "s2", lambda: fired.append(net.scheduler.now))
+        net.run()
+        expected = net.routes.distance("s0", "s2") + CONTROL_OVERHEAD_S
+        assert fired == [pytest.approx(expected)]
+        assert net.control_messages_sent == 1
+
+    def test_send_control_unreachable_is_dropped(self):
+        topo = TopologyBuilder.linear(2)
+        topo.remove_link("s0", "s1")
+        net = SimNetwork(topo)
+        fired = []
+        net.send_control("s0", "s1", fired.append, 1)
+        net.run()
+        assert fired == []
+
+
+class TestAccounting:
+    def test_delivery_record_fields(self):
+        topo, net = build_net()
+        packet = Packet.from_fields(TWO_FIELD_LAYOUT, flow_id=42)
+        packet.via_authority = True
+        net.inject_from_host("h0", packet)
+        net.run()
+        record = net.delivered()[0]
+        assert record.flow_id == 42
+        assert record.via_authority
+        assert not record.via_controller
+        assert record.delay == record.finished_at - record.created_at
+
+    def test_link_counters(self):
+        topo, net = build_net()
+        net.inject_from_host("h0", Packet.from_fields(TWO_FIELD_LAYOUT))
+        net.run()
+        assert net.link("s0", "s1").packets_carried == 1
+        assert net.link("s1", "s0").packets_carried == 0

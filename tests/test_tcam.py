@@ -1,0 +1,127 @@
+"""Unit tests for the capacity-bounded TCAM."""
+
+import pytest
+
+from repro.flowspace import Forward, Match, Packet, Rule, TWO_FIELD_LAYOUT
+from repro.flowspace.rule import RuleKind
+from repro.switch import Tcam, TcamFullError
+
+L = TWO_FIELD_LAYOUT
+
+
+def rule(priority=1, kind=RuleKind.POLICY, **fields):
+    return Rule(Match.build(L, **fields), priority, Forward("x"), kind=kind)
+
+
+class TestCapacity:
+    def test_unbounded(self):
+        tcam = Tcam(L, capacity=None)
+        for i in range(100):
+            tcam.install(rule())
+        assert tcam.occupancy == 100
+        assert not tcam.is_full()
+
+    def test_bounded_install_and_reject(self):
+        tcam = Tcam(L, capacity=2)
+        tcam.install(rule())
+        tcam.install(rule())
+        assert tcam.is_full()
+        with pytest.raises(TcamFullError):
+            tcam.install(rule())
+        assert tcam.rejected == 1
+
+    def test_make_room_eviction(self):
+        tcam = Tcam(L, capacity=1)
+        first = tcam.install(rule())
+        second = rule()
+        tcam.install(second, make_room=lambda: first)
+        assert tcam.occupancy == 1
+        assert tcam.rules() == [second]
+        assert tcam.evictions == 1
+
+    def test_make_room_gives_up(self):
+        tcam = Tcam(L, capacity=1)
+        tcam.install(rule())
+        with pytest.raises(TcamFullError):
+            tcam.install(rule(), make_room=lambda: None)
+
+    def test_high_water(self):
+        tcam = Tcam(L, capacity=10)
+        installed = [tcam.install(rule()) for _ in range(5)]
+        for r in installed:
+            tcam.evict(r)
+        assert tcam.high_water == 5
+        assert tcam.occupancy == 0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            Tcam(L, capacity=-1)
+
+    def test_zero_capacity(self):
+        tcam = Tcam(L, capacity=0)
+        assert tcam.is_full()
+        with pytest.raises(TcamFullError):
+            tcam.install(rule())
+
+
+class TestLookup:
+    def test_lookup_hits_and_counts(self):
+        tcam = Tcam(L)
+        r = tcam.install(rule(priority=5, f1=1), now=0.0)
+        packet = Packet.from_fields(L, f1=1)
+        winner = tcam.lookup(packet, now=2.0)
+        assert winner is r
+        assert tcam.hits == 1
+        assert r.packet_count == 1
+        assert r.last_hit_at == 2.0
+
+    def test_peek_does_not_count(self):
+        tcam = Tcam(L)
+        r = tcam.install(rule(f1=1))
+        assert tcam.peek(Packet.from_fields(L, f1=1)) is r
+        assert tcam.hits == 0
+        assert r.packet_count == 0
+
+    def test_miss(self):
+        tcam = Tcam(L)
+        tcam.install(rule(f1=1))
+        assert tcam.lookup(Packet.from_fields(L, f1=2)) is None
+        assert tcam.lookups == 1
+        assert tcam.hits == 0
+
+
+class TestEviction:
+    def test_evict_if(self):
+        tcam = Tcam(L)
+        keep = tcam.install(rule(priority=1))
+        drop = tcam.install(rule(priority=2))
+        removed = tcam.evict_if(lambda r: r.priority == 2)
+        assert removed == [drop]
+        assert tcam.rules() == [keep]
+
+    def test_evict_expired(self):
+        tcam = Tcam(L)
+        stale = rule()
+        stale.idle_timeout = 1.0
+        tcam.install(stale, now=0.0)
+        fresh = rule()
+        tcam.install(fresh, now=0.0)
+        removed = tcam.evict_expired(now=5.0)
+        assert removed == [stale]
+        assert fresh in tcam.rules()
+
+    def test_clear_counts_evictions(self):
+        tcam = Tcam(L)
+        for _ in range(3):
+            tcam.install(rule())
+        tcam.clear()
+        assert tcam.occupancy == 0
+        assert tcam.evictions == 3
+
+    def test_rules_filter_by_kind(self):
+        tcam = Tcam(L)
+        cache = tcam.install(rule(kind=RuleKind.CACHE))
+        auth = tcam.install(rule(kind=RuleKind.AUTHORITY))
+        assert tcam.rules(RuleKind.CACHE) == [cache]
+        assert tcam.rules(RuleKind.AUTHORITY) == [auth]
+        assert set(tcam.rules()) == {cache, auth}

@@ -1,0 +1,140 @@
+"""Tuple-space search: semantic equivalence with RuleTable."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.flowspace import (
+    Forward,
+    Match,
+    Packet,
+    Rule,
+    RuleTable,
+    Ternary,
+    TWO_FIELD_LAYOUT,
+)
+from repro.flowspace.fields import FIVE_TUPLE_LAYOUT
+from repro.flowspace.tuplespace import TupleSpaceTable
+from repro.workloads.classbench import generate_classbench
+
+L = TWO_FIELD_LAYOUT
+
+
+def rule(priority, t):
+    return Rule(Match(L, t), priority, Forward("x"))
+
+
+class TestBasics:
+    def test_empty(self):
+        table = TupleSpaceTable(L)
+        assert table.lookup_bits(0) is None
+        assert len(table) == 0
+
+    def test_single_rule(self):
+        r = rule(5, Ternary.from_string("0000xxxx" + "x" * 8))
+        table = TupleSpaceTable(L, [r])
+        assert table.lookup_bits(0x01FF) is r
+        assert table.lookup_bits(0xF000) is None
+        assert table.tuple_count == 1
+
+    def test_groups_by_mask(self):
+        a = rule(1, Ternary.from_string("0000xxxx" + "x" * 8))
+        b = rule(2, Ternary.from_string("1111xxxx" + "x" * 8))
+        c = rule(3, Ternary.from_string("x" * 8 + "0000xxxx"))
+        table = TupleSpaceTable(L, [a, b, c])
+        assert table.tuple_count == 2
+        assert len(table) == 3
+
+    def test_priority_respected_across_groups(self):
+        low = rule(1, Ternary.wildcard(16))
+        high = rule(9, Ternary.from_string("0000xxxx" + "x" * 8))
+        table = TupleSpaceTable(L, [low, high])
+        assert table.lookup_bits(0x0100) is high
+        assert table.lookup_bits(0xFF00) is low
+
+    def test_tie_break_insertion_order(self):
+        first = rule(5, Ternary.wildcard(16))
+        second = rule(5, Ternary.from_string("x" * 16))
+        table = TupleSpaceTable(L, [first, second])
+        assert table.lookup_bits(0) is first
+
+    def test_tie_break_across_groups(self):
+        first = rule(5, Ternary.from_string("0xxxxxxx" + "x" * 8))
+        second = rule(5, Ternary.from_string("x" * 8 + "0xxxxxxx"))
+        table = TupleSpaceTable(L, [first, second])
+        # A point matching both must go to the earlier-inserted rule.
+        assert table.lookup_bits(0) is first
+
+    def test_remove(self):
+        a = rule(5, Ternary.wildcard(16))
+        b = rule(3, Ternary.wildcard(16))
+        table = TupleSpaceTable(L, [a, b])
+        assert table.remove(a)
+        assert table.lookup_bits(0) is b
+        assert not table.remove(a)
+        assert len(table) == 1
+
+    def test_layout_checked(self):
+        foreign = Rule(Match.any(FIVE_TUPLE_LAYOUT), 1, Forward("x"))
+        with pytest.raises(ValueError):
+            TupleSpaceTable(L, [foreign])
+
+    def test_lookup_packet(self):
+        r = rule(1, Ternary.wildcard(16))
+        table = TupleSpaceTable(L, [r])
+        assert table.lookup(Packet.from_fields(L, f1=1)) is r
+
+
+class TestEquivalenceOnClassBench:
+    def test_matches_rule_table_everywhere(self):
+        rules = generate_classbench("acl", count=300, seed=77, layout=FIVE_TUPLE_LAYOUT)
+        linear = RuleTable(FIVE_TUPLE_LAYOUT, rules)
+        tss = TupleSpaceTable(FIVE_TUPLE_LAYOUT, rules)
+        rng = random.Random(0)
+        probes = [rng.getrandbits(FIVE_TUPLE_LAYOUT.width) for _ in range(300)]
+        probes += [r.match.ternary.sample(rng) for r in rules[:100]]
+        for bits in probes:
+            assert tss.lookup_bits(bits) is linear.lookup_bits(bits)
+
+    def test_tuple_count_small_on_operator_policies(self):
+        """Operator-style policies reuse a handful of mask shapes — the
+        regime tuple-space search wins in (synthetic ClassBench draws
+        prefix lengths independently, so its tuple count is higher)."""
+        from repro.workloads.policies import vpn_policy
+        rules = vpn_policy(customers=40, sites_per_customer=4,
+                           layout=FIVE_TUPLE_LAYOUT)
+        tss = TupleSpaceTable(FIVE_TUPLE_LAYOUT, rules)
+        assert tss.tuple_count <= 3  # /24-pair rules + the default
+        assert len(tss) == len(rules)
+
+
+ternaries16 = st.builds(
+    lambda v, m: Ternary(v & m, m, 16),
+    st.integers(min_value=0, max_value=0xFFFF),
+    st.integers(min_value=0, max_value=0xFFFF),
+)
+
+
+@settings(max_examples=120, deadline=None)
+@given(
+    specs=st.lists(
+        st.tuples(ternaries16, st.integers(min_value=0, max_value=7)),
+        min_size=0,
+        max_size=14,
+    ),
+    probes=st.lists(st.integers(min_value=0, max_value=0xFFFF),
+                    min_size=1, max_size=10),
+    removals=st.lists(st.integers(min_value=0, max_value=13), max_size=4),
+)
+def test_prop_equivalent_to_rule_table(specs, probes, removals):
+    """Lookup (including after removals) matches RuleTable exactly."""
+    rules = [rule(prio, t) for t, prio in specs]
+    linear = RuleTable(L, rules)
+    tss = TupleSpaceTable(L, rules)
+    for index in removals:
+        if index < len(rules):
+            victim = rules[index]
+            assert linear.remove(victim) == tss.remove(victim)
+    for bits in probes:
+        assert tss.lookup_bits(bits) is linear.lookup_bits(bits)
