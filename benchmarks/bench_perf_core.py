@@ -7,15 +7,20 @@ statistically meaningful timings.  They guard the hot paths:
 * ternary set operations (the inner loop of everything),
 * rule-table lookup on a ClassBench classifier,
 * per-miss cache-rule generation (the authority switch's critical path),
-* the full partitioner on a 10K-rule policy.
+* the full partitioner on a 10K-rule policy,
+* the three match-engine backends head to head at 1K and 10K rules
+  (archived as both text and machine-readable JSON).
 """
 
+import json
 import random
+import time
 
 import pytest
+from conftest import RESULTS_DIR, run_once
 
 from repro.core import generate_cache_rule, partition_policy
-from repro.flowspace import RuleTable, Ternary
+from repro.flowspace import ENGINE_CHOICES, RuleTable, Ternary, create_engine
 from repro.flowspace.fields import FIVE_TUPLE_LAYOUT
 from repro.workloads.classbench import generate_classbench
 
@@ -128,6 +133,74 @@ def test_perf_tuple_space_vs_linear(benchmark, classifier, lookup_table):
     assert result == len(probes)
     for bits in probes[:64]:
         assert tss.lookup_bits(bits) is lookup_table.lookup_bits(bits)
+
+
+def test_perf_engine_comparison(benchmark, archive):
+    """Lookup throughput of every match engine at 1K and 10K rules.
+
+    The engine layer's reason to exist: on large classifiers the
+    tuple-space and decision-tree backends must beat the linear oracle by
+    a wide margin (the gate below requires ≥3× at 10K rules) while
+    returning the identical winners.  Results are archived as text and as
+    ``perf-engines.json`` for machine consumption.
+    """
+
+    def compare():
+        report = []
+        for count in (1_000, 10_000):
+            rules = generate_classbench("acl", count=count, seed=19, layout=LAYOUT)
+            rng = random.Random(2)
+            probes = [r.match.ternary.sample(rng) for r in rules[:512]]
+            probes += [rng.getrandbits(LAYOUT.width) for _ in range(512)]
+            row = {"rules": count, "probes": len(probes), "engines": {}}
+            for name in ENGINE_CHOICES:
+                engine = create_engine(name, LAYOUT)
+                started = time.perf_counter()
+                for rule in rules:
+                    engine.add(rule)
+                engine.lookup_bits(probes[0])  # dtree builds lazily: force it
+                build_s = time.perf_counter() - started
+                started = time.perf_counter()
+                winners = [engine.lookup_bits(bits) for bits in probes]
+                lookup_s = time.perf_counter() - started
+                row["engines"][name] = {
+                    "build_s": round(build_s, 4),
+                    "lookups_per_s": round(len(probes) / lookup_s, 1),
+                    "us_per_lookup": round(lookup_s * 1e6 / len(probes), 2),
+                    "winners": winners,
+                }
+            reference = row["engines"]["linear"]["winners"]
+            for name, stats in row["engines"].items():
+                assert stats.pop("winners") == reference, name
+                stats["speedup_vs_linear"] = round(
+                    stats["lookups_per_s"]
+                    / row["engines"]["linear"]["lookups_per_s"],
+                    2,
+                )
+            report.append(row)
+        return report
+
+    report = run_once(benchmark, compare)
+
+    lines = ["Match-engine lookup comparison (ClassBench ACL, 1024 probes)", ""]
+    lines.append(f"{'rules':>7} {'engine':<12} {'build s':>8} "
+                 f"{'lookups/s':>12} {'us/lookup':>10} {'vs linear':>10}")
+    for row in report:
+        for name, stats in row["engines"].items():
+            lines.append(
+                f"{row['rules']:>7} {name:<12} {stats['build_s']:>8.3f} "
+                f"{stats['lookups_per_s']:>12.0f} {stats['us_per_lookup']:>10.2f} "
+                f"{stats['speedup_vs_linear']:>9.2f}x"
+            )
+    archive("perf-engines", "\n".join(lines))
+    (RESULTS_DIR / "perf-engines.json").write_text(json.dumps(report, indent=2) + "\n")
+
+    at_10k = next(row for row in report if row["rules"] == 10_000)
+    best = max(
+        at_10k["engines"][name]["speedup_vs_linear"]
+        for name in ("tuplespace", "dtree")
+    )
+    assert best >= 3.0, f"best alternative engine only {best}x at 10K rules"
 
 
 def test_perf_partitioner_10k(benchmark):

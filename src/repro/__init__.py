@@ -45,6 +45,16 @@ from repro.flowspace import (
     TupleSpaceTable,
     TWO_FIELD_LAYOUT,
 )
+from repro.flowspace.engine import (
+    ENGINE_CHOICES,
+    DecisionTreeEngine,
+    LinearEngine,
+    MatchEngine,
+    TupleSpaceEngine,
+    create_engine,
+    get_default_engine,
+    set_default_engine,
+)
 from repro.flowspace.rule import RuleKind
 from repro.net import (
     EventScheduler,
@@ -105,6 +115,8 @@ __all__ = [
     # flowspace
     "Ternary", "HeaderLayout", "FieldSpec", "Match", "Rule", "RuleKind",
     "RuleTable", "TupleSpaceTable", "Packet", "HeaderSpace", "Action", "ActionList", "Forward",
+    "MatchEngine", "LinearEngine", "TupleSpaceEngine", "DecisionTreeEngine",
+    "ENGINE_CHOICES", "create_engine", "get_default_engine", "set_default_engine",
     "Drop", "Encapsulate", "SendToController", "SetField",
     "OPENFLOW_10_LAYOUT", "FIVE_TUPLE_LAYOUT", "TWO_FIELD_LAYOUT",
     "parse_ip", "format_ip", "ip_prefix_to_ternary", "ternary_to_ip_prefix",

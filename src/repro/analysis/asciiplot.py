@@ -8,7 +8,7 @@ knees, crossovers, linear scaling) is visible without leaving the shell.
 from __future__ import annotations
 
 import math
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from repro.analysis.series import Series
 

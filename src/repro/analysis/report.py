@@ -7,7 +7,7 @@ terminal or a CI log.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from repro.analysis.series import Series
 

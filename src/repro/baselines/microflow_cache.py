@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, Sequence
 
 from repro.flowspace.fields import HeaderLayout
 from repro.flowspace.rule import Rule
@@ -54,13 +54,15 @@ def simulate_microflow_cache(
     layout: HeaderLayout,
     header_sequence: Iterable[int],
     cache_size: int,
+    engine=None,
 ) -> CacheSimResult:
     """Replay ``header_sequence`` through an LRU exact-match cache.
 
     A miss consults the policy (the controller / authority detour) and
-    installs one microflow entry for that exact header.
+    installs one microflow entry for that exact header.  ``engine``
+    selects the policy-lookup backend (see :mod:`repro.flowspace.engine`).
     """
-    table = RuleTable(layout, policy)
+    table = RuleTable(layout, policy, engine=engine)
     cache: "OrderedDict[int, bool]" = OrderedDict()
     hits = misses = installs = evictions = unmatched = packets = 0
     for bits in header_sequence:
@@ -88,6 +90,7 @@ def simulate_wildcard_cache(
     layout: HeaderLayout,
     header_sequence: Iterable[int],
     cache_size: int,
+    engine=None,
 ) -> CacheSimResult:
     """Replay ``header_sequence`` through an LRU cache of DIFANE fragments.
 
@@ -98,7 +101,7 @@ def simulate_wildcard_cache(
     used; fragments are pairwise disjoint so the first match is the only
     match.
     """
-    table = RuleTable(layout, policy)
+    table = RuleTable(layout, policy, engine=engine)
     ordered_rules = list(table.rules)
     fragment_memo: Dict[Ternary, Ternary] = {}
     cache: "OrderedDict[Ternary, bool]" = OrderedDict()

@@ -23,7 +23,7 @@ rather than the forwarding model.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from repro.flowspace.action import Drop, Forward, SetField
 from repro.flowspace.fields import HeaderLayout
@@ -154,6 +154,7 @@ class NoxController(Controller):
         queue_limit: int = 1024,
         microflow_idle_timeout: Optional[float] = 60.0,
         control_latency_s: Optional[float] = None,
+        engine=None,
     ):
         extra = {}
         if control_latency_s is not None:
@@ -163,7 +164,7 @@ class NoxController(Controller):
         )
         self.network = network
         self.layout = layout
-        self.policy = RuleTable(layout, policy)
+        self.policy = RuleTable(layout, policy, engine=engine)
         self.microflow_idle_timeout = microflow_idle_timeout
         self.flow_setups = 0
         self.policy_misses = 0
@@ -214,8 +215,14 @@ class NoxNetwork:
         flow_table_capacity: int = 65536,
         control_latency_s: Optional[float] = None,
         forwarding_delay_s: float = 0.0,
+        engine=None,
     ) -> "NoxNetwork":
-        """Wire a NOX deployment over ``topology``."""
+        """Wire a NOX deployment over ``topology``.
+
+        ``engine`` selects the controller's policy-lookup backend (the
+        switches keep their exact-match hash table, which no wildcard
+        engine can beat).
+        """
         network = SimNetwork(topology)
         controller = NoxController(
             network.scheduler,
@@ -225,6 +232,7 @@ class NoxNetwork:
             processing_rate=controller_rate,
             queue_limit=controller_queue,
             control_latency_s=control_latency_s,
+            engine=engine,
         )
         for name in topology.switches():
             switch = NoxSwitch(

@@ -27,10 +27,12 @@ __all__ = ["ProactiveSwitch", "ProactiveNetwork"]
 class ProactiveSwitch(DataPlaneSwitch):
     """A switch holding the complete policy (unbounded table)."""
 
-    def __init__(self, name: str, layout: HeaderLayout, rules: Sequence[Rule]):
+    def __init__(
+        self, name: str, layout: HeaderLayout, rules: Sequence[Rule], engine=None
+    ):
         super().__init__(name)
         self.layout = layout
-        self.table = RuleTable(layout, [rule.derive() for rule in rules])
+        self.table = RuleTable(layout, [rule.derive() for rule in rules], engine=engine)
         self.policy_hits = 0
         self.policy_misses = 0
 
@@ -77,11 +79,12 @@ class ProactiveNetwork:
         topology: Topology,
         rules: Sequence[Rule],
         layout: HeaderLayout,
+        engine=None,
     ) -> "ProactiveNetwork":
         """Install the full policy on every switch of ``topology``."""
         network = SimNetwork(topology)
         for name in topology.switches():
-            network.register_node(ProactiveSwitch(name, layout, rules))
+            network.register_node(ProactiveSwitch(name, layout, rules, engine=engine))
         return cls(network)
 
     def send(self, host: str, packet: Packet) -> None:

@@ -6,6 +6,7 @@ Usage::
     python -m repro.cli run E2            # full-size experiment
     python -m repro.cli run E5 --quick    # scaled-down version
     python -m repro.cli run all --quick
+    python -m repro.cli run E2 --quick --engine tuplespace
 
 Each run prints the experiment's table and/or an ASCII rendering of its
 figure, mirroring what the benchmark harness archives under
@@ -22,6 +23,7 @@ from typing import Callable, Dict, Tuple
 from repro.analysis.asciiplot import ascii_plot
 from repro.analysis.report import render_series_table, render_table
 from repro.experiments.common import ExperimentResult
+from repro.flowspace.engine import ENGINE_CHOICES, set_default_engine
 
 __all__ = ["main"]
 
@@ -141,6 +143,9 @@ def main(argv=None) -> int:
                      help="scaled-down parameters (seconds, not minutes)")
     run.add_argument("--no-plot", action="store_true",
                      help="skip the ASCII figure rendering")
+    run.add_argument("--engine", choices=ENGINE_CHOICES, default=None,
+                     help="match-engine backend for every classifier "
+                          "(default: linear)")
 
     args = parser.parse_args(argv)
 
@@ -156,6 +161,11 @@ def main(argv=None) -> int:
     if unknown:
         print(f"unknown experiment(s): {unknown}; try 'list'", file=sys.stderr)
         return 2
+
+    if args.engine is not None:
+        # Process-wide default: every classifier the experiments build —
+        # pipelines, policy tables, cache simulators — resolves to this.
+        set_default_engine(args.engine)
 
     for key in wanted:
         _, runner = EXPERIMENTS[key]

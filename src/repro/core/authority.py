@@ -73,6 +73,9 @@ class DifaneSwitch(DataPlaneSwitch):
         values also push sibling win-region fragments — a prefetch
         extension evaluated by the ablation bench.  Decompositions that
         would exceed the budget fall back to the single fragment.
+    engine:
+        Match-engine backend for the pipeline's TCAM regions (see
+        :mod:`repro.flowspace.engine`); ``None`` uses the process default.
     """
 
     def __init__(
@@ -89,6 +92,7 @@ class DifaneSwitch(DataPlaneSwitch):
         processing_rate: Optional[float] = None,
         forwarding_delay_s: float = 0.0,
         prefetch_fragments: int = 1,
+        engine=None,
     ):
         if prefetch_fragments < 1:
             raise ValueError("prefetch_fragments must be >= 1")
@@ -98,7 +102,7 @@ class DifaneSwitch(DataPlaneSwitch):
             forwarding_delay_s=forwarding_delay_s,
         )
         self.layout = layout
-        self.pipeline = DifanePipeline(layout)
+        self.pipeline = DifanePipeline(layout, engine=engine)
         self.cache = CacheManager(
             self.pipeline.cache,
             capacity=cache_capacity,
@@ -197,6 +201,39 @@ class DifaneSwitch(DataPlaneSwitch):
         else:
             self.unmatched += 1
             self.network.record_drop(packet, self.name, "no matching rule")
+
+    def process_batch(self, packets: List[Packet]) -> None:
+        """Classify a burst of ingress packets with one engine dispatch.
+
+        Encapsulated (transit / redirected) packets take the normal
+        per-packet path; everything else goes through
+        :meth:`DifanePipeline.lookup_batch`, then per-packet action
+        dispatch.  Outcome and counters are identical to calling
+        :meth:`process` per packet.
+        """
+        now = self._now()
+        ingress = []
+        for packet in packets:
+            if packet.is_encapsulated:
+                self.process(packet)
+            else:
+                ingress.append(packet)
+        if not ingress:
+            return
+        for packet, result in zip(ingress, self.pipeline.lookup_batch(ingress, now)):
+            if result.stage is PipelineStage.CACHE:
+                self.cache_hits += 1
+                self._terminal(packet, result.rule)
+            elif result.stage is PipelineStage.AUTHORITY:
+                self.authority_hits += 1
+                self._terminal(packet, result.rule)
+            elif result.stage is PipelineStage.PARTITION:
+                self.redirects_out += 1
+                packet.via_authority = True
+                self._redirect_via_partition(packet, result.rule)
+            else:
+                self.unmatched += 1
+                self.network.record_drop(packet, self.name, "no matching rule")
 
     def _redirect_via_partition(self, packet: Packet, rule: Rule) -> None:
         """Tunnel a miss to its authority switch, failing over to backups.

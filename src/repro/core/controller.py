@@ -26,7 +26,6 @@ from repro.core.partition import (
     Partition,
     PartitionResult,
     assign_partitions,
-    build_partition_rules,
     partition_policy,
 )
 from repro.core.placement import choose_authority_switches
@@ -492,8 +491,13 @@ class DifaneNetwork:
         cut_strategy: str = "split-aware",
         forwarding_delay_s: float = 0.0,
         prefetch_fragments: int = 1,
+        engine=None,
     ) -> "DifaneNetwork":
-        """Construct switches, controller and partitions over ``topology``."""
+        """Construct switches, controller and partitions over ``topology``.
+
+        ``engine`` selects every switch's match-engine backend (see
+        :mod:`repro.flowspace.engine`); ``None`` uses the process default.
+        """
         network = SimNetwork(topology)
         for name in topology.switches():
             network.register_node(
@@ -507,6 +511,7 @@ class DifaneNetwork:
                     eviction=eviction,
                     forwarding_delay_s=forwarding_delay_s,
                     prefetch_fragments=prefetch_fragments,
+                    engine=engine,
                 )
             )
         if authority_switches is None:

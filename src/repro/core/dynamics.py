@@ -10,8 +10,8 @@ management cost of each — the data behind experiment E9.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from dataclasses import dataclass
+from typing import List
 
 from repro.flowspace.action import Drop, Forward
 from repro.flowspace.fields import HeaderLayout

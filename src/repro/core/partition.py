@@ -30,7 +30,7 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -320,27 +320,27 @@ def _choose_cut(
     if len(node.indices) == 0:
         return free_positions[0]
 
-    sub = matrix[node.indices]
+    positions = np.asarray(free_positions)
+    sub = matrix[np.ix_(node.indices, positions)]
     total = len(node.indices)
-    best_key = None
-    best_position = None
-    for position in free_positions:
-        column = sub[:, position]
-        zeros = int(np.count_nonzero(column == _ZERO))
-        ones = int(np.count_nonzero(column == _ONE))
-        wilds = total - zeros - ones
-        if zeros == 0 and ones == 0:
-            continue  # every rule straddles: pure duplication
-        left = zeros + wilds
-        right = ones + wilds
-        if strategy == "split-aware":
-            key = (wilds, abs(left - right), position)
-        else:  # occupancy: naive balance-only heuristic (ablation)
-            key = (abs(left - right), wilds, position)
-        if best_key is None or key < best_key:
-            best_key = key
-            best_position = position
-    return best_position
+    zeros = np.count_nonzero(sub == _ZERO, axis=0)
+    ones = np.count_nonzero(sub == _ONE, axis=0)
+    discriminating = (zeros + ones) > 0
+    if not discriminating.any():
+        return None  # every rule straddles every candidate: pure duplication
+    positions = positions[discriminating]
+    zeros = zeros[discriminating]
+    ones = ones[discriminating]
+    wilds = total - zeros - ones
+    imbalance = np.abs((zeros + wilds) - (ones + wilds))
+    if strategy == "split-aware":
+        key_minor, key_major = imbalance, wilds
+    else:  # occupancy: naive balance-only heuristic (ablation)
+        key_minor, key_major = wilds, imbalance
+    # lexsort keys are last-is-primary; equivalent to minimizing the tuple
+    # (major, minor, position) over discriminating candidates.
+    best = np.lexsort((positions, key_minor, key_major))[0]
+    return int(positions[best])
 
 
 def _split(node: _Node, matrix: np.ndarray, position: int) -> Tuple[_Node, _Node]:

@@ -16,7 +16,7 @@ four quantify them:
 from __future__ import annotations
 
 import random
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from repro.analysis.series import Series
 from repro.baselines.microflow_cache import simulate_microflow_cache, simulate_wildcard_cache

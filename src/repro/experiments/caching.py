@@ -19,7 +19,7 @@ from repro.baselines.microflow_cache import (
     simulate_microflow_cache,
     simulate_wildcard_cache,
 )
-from repro.experiments.common import ExperimentResult
+from repro.experiments.common import ExperimentResult, resolve_engine
 from repro.flowspace.fields import FIVE_TUPLE_LAYOUT
 from repro.flowspace.rule import Rule
 from repro.workloads.classbench import generate_classbench
@@ -37,6 +37,7 @@ def run_cache_miss(
     n_packets: int = 30_000,
     zipf_alpha: float = 1.0,
     seed: int = 5,
+    engine: Optional[str] = None,
 ) -> ExperimentResult:
     """Sweep cache sizes; return miss-rate series for both cache kinds.
 
@@ -44,6 +45,7 @@ def run_cache_miss(
     drawn across the policy weighted by flow-space share, packet-level
     Zipf popularity over flows.
     """
+    engine = resolve_engine(engine)
     if policy is None:
         policy = generate_classbench("acl", count=1000, seed=3, layout=LAYOUT)
     if cache_sizes is None:
@@ -61,8 +63,8 @@ def run_cache_miss(
     )
     rows = []
     for size in cache_sizes:
-        w = simulate_wildcard_cache(policy, LAYOUT, sequence, size)
-        m = simulate_microflow_cache(policy, LAYOUT, sequence, size)
+        w = simulate_wildcard_cache(policy, LAYOUT, sequence, size, engine=engine)
+        m = simulate_microflow_cache(policy, LAYOUT, sequence, size, engine=engine)
         wildcard.append(size, w.miss_rate)
         microflow.append(size, m.miss_rate)
         rows.append([

@@ -24,7 +24,12 @@ from repro.analysis.series import Series
 from repro.analysis.stats import cdf, summarize
 from repro.baselines.nox import NoxNetwork
 from repro.core.controller import DifaneNetwork
-from repro.experiments.common import CALIBRATION, Calibration, ExperimentResult
+from repro.experiments.common import (
+    CALIBRATION,
+    Calibration,
+    ExperimentResult,
+    resolve_engine,
+)
 from repro.flowspace.fields import FIVE_TUPLE_LAYOUT
 from repro.net.topology import TopologyBuilder
 from repro.workloads.policies import routing_policy_for_topology
@@ -53,12 +58,14 @@ def run_delay(
     rate: float = 2_000.0,
     calibration: Calibration = CALIBRATION,
     seed: int = 7,
+    engine: Optional[str] = None,
 ) -> ExperimentResult:
     """Measure first- and subsequent-packet delay under both architectures.
 
     ``rate`` is kept far below every capacity so queueing delay is
     negligible and the comparison isolates path/architecture latency.
     """
+    engine = resolve_engine(engine)
     topo_args = dict(core_count=2, distribution_count=3,
                      access_per_distribution=3, hosts_per_access=2)
 
@@ -90,6 +97,7 @@ def run_delay(
         cache_capacity=4096,
         redirect_rate=calibration.authority_redirect_rate,
         forwarding_delay_s=hop_delay,
+        engine=engine,
     )
     for timed_packet in workload(topo, host_ips):
         dn.send_at(timed_packet.time, timed_packet.source_host, timed_packet.packet)
@@ -106,6 +114,7 @@ def run_delay(
         controller_rate=calibration.controller_rate,
         control_latency_s=calibration.control_latency_s,
         forwarding_delay_s=hop_delay,
+        engine=engine,
     )
     for timed_packet in workload(topo, host_ips):
         nn.send_at(timed_packet.time, timed_packet.source_host, timed_packet.packet)

@@ -15,7 +15,7 @@ campus / VPN / ClassBench policies and report the partition statistics.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.series import Series
 from repro.core.partition import partition_policy

@@ -17,12 +17,17 @@ Offered load per point is ``1.5 × k × (per-switch capacity)``, i.e. always
 from __future__ import annotations
 
 import random
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from repro.analysis.series import Series
 from repro.baselines.nox import NoxNetwork
 from repro.core.controller import DifaneNetwork
-from repro.experiments.common import CALIBRATION, Calibration, ExperimentResult
+from repro.experiments.common import (
+    CALIBRATION,
+    Calibration,
+    ExperimentResult,
+    resolve_engine,
+)
 from repro.flowspace.fields import FIVE_TUPLE_LAYOUT
 from repro.flowspace.packet import Packet
 from repro.net.topology import Topology
@@ -85,6 +90,7 @@ def run_scaling(
     n_ingress: int = 4,
     scale: float = 0.01,
     calibration: Calibration = CALIBRATION,
+    engine: Optional[str] = None,
 ) -> ExperimentResult:
     """Measure saturated goodput as authority switches are added.
 
@@ -92,6 +98,7 @@ def run_scaling(
     the controller's capacity however large k grows).
     """
     authority_counts = list(authority_counts) if authority_counts else [1, 2, 3, 4]
+    engine = resolve_engine(engine)
     difane_series = Series(
         "DIFANE", x_label="# authority switches", y_label="goodput (flows/s)"
     )
@@ -112,6 +119,7 @@ def run_scaling(
             cache_capacity=0,
             partitions_per_authority=4,
             redirect_rate=calibration.authority_redirect_rate * scale,
+            engine=engine,
         )
         _inject_unique_flows(dn, host_ips, n_ingress, flows_per_point, offered_scaled, seed=k)
         dn.run()
@@ -126,6 +134,7 @@ def run_scaling(
             controller_rate=calibration.controller_rate * scale,
             controller_queue=calibration.controller_queue,
             control_latency_s=calibration.control_latency_s,
+            engine=engine,
         )
         _inject_unique_flows(nn, host_ips, n_ingress, flows_per_point, offered_scaled, seed=k)
         nn.run()

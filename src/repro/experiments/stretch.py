@@ -15,7 +15,7 @@ the actual partitioner, and read distances from the routing table.
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional, Sequence
+from typing import Optional, Sequence
 
 from repro.analysis.series import Series
 from repro.analysis.stats import cdf, summarize

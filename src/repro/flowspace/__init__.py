@@ -41,6 +41,16 @@ from repro.flowspace.action import (
     ActionList,
 )
 from repro.flowspace.rule import Match, Rule
+from repro.flowspace.engine import (
+    ENGINE_CHOICES,
+    DecisionTreeEngine,
+    LinearEngine,
+    MatchEngine,
+    TupleSpaceEngine,
+    create_engine,
+    get_default_engine,
+    set_default_engine,
+)
 from repro.flowspace.table import RuleTable
 from repro.flowspace.tuplespace import TupleSpaceTable
 from repro.flowspace.headerspace import HeaderSpace
@@ -71,5 +81,13 @@ __all__ = [
     "Rule",
     "RuleTable",
     "TupleSpaceTable",
+    "MatchEngine",
+    "LinearEngine",
+    "TupleSpaceEngine",
+    "DecisionTreeEngine",
+    "ENGINE_CHOICES",
+    "create_engine",
+    "get_default_engine",
+    "set_default_engine",
     "HeaderSpace",
 ]

@@ -1,0 +1,532 @@
+"""Pluggable match engines — the classifier lookup substrate.
+
+DIFANE's core argument is that packet classification belongs in the data
+plane at hardware speed.  In this reproduction every classifier owner
+(:class:`~repro.flowspace.table.RuleTable`, the TCAM model, the pipeline,
+the baselines) used to carry its own linear scan; this module extracts the
+lookup substrate into a single :class:`MatchEngine` interface with three
+conforming backends so the storage/lookup strategy is a deployment knob
+rather than a code path:
+
+* :class:`LinearEngine` — the priority-ordered linear scan.  Semantics
+  oracle: every other engine is property-tested winner-for-winner
+  equivalent to it.
+* :class:`TupleSpaceEngine` — tuple-space search (Srinivasan et al.; the
+  structure behind Open vSwitch megaflows): rules grouped by mask shape,
+  one hash probe per group.
+* :class:`DecisionTreeEngine` — a HiCuts-style binary decision tree over
+  header bits, reusing the partitioner's cut-selection machinery from
+  :mod:`repro.core.partition`; lookups walk the tree and scan a small leaf.
+
+All engines implement identical semantics: the winner is the matching rule
+with the highest priority, ties broken by insertion order
+(first-installed-wins, the OpenFlow convention).  Engines are selected by
+name through :func:`create_engine`; the process-wide default (settable from
+the CLI's ``--engine`` flag) is managed by :func:`set_default_engine`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.flowspace.fields import HeaderLayout
+from repro.flowspace.rule import Rule
+from repro.flowspace.tuplespace import TupleSpaceTable
+
+__all__ = [
+    "MatchEngine",
+    "LinearEngine",
+    "TupleSpaceEngine",
+    "DecisionTreeEngine",
+    "ENGINE_CHOICES",
+    "create_engine",
+    "set_default_engine",
+    "get_default_engine",
+]
+
+#: Ordering key of a rule inside an engine: priority descending, then
+#: insertion sequence ascending.  Smaller key = wins lookup.
+_Key = Tuple[int, int]
+
+
+class MatchEngine:
+    """The interface every lookup backend implements.
+
+    An engine owns rule *storage* and *lookup*; policy concerns (capacity,
+    eviction, counters, analysis) stay with the owner.  Subclasses must
+    implement :meth:`add`, :meth:`remove`, :meth:`lookup_bits`,
+    :meth:`rules`, :meth:`clear` and :meth:`__len__`; :meth:`batch_lookup`
+    and :meth:`remove_if` have generic implementations they may override.
+    """
+
+    #: Registry name (set by subclasses; used in reprs and errors).
+    name = "abstract"
+
+    def __init__(self, layout: HeaderLayout):
+        self.layout = layout
+
+    # -- mutation ----------------------------------------------------------
+    def add(self, rule: Rule) -> None:
+        """Insert ``rule``; later lookups must honour its priority."""
+        raise NotImplementedError
+
+    def remove(self, rule: Rule) -> bool:
+        """Remove ``rule`` (by identity); returns whether it was present."""
+        raise NotImplementedError
+
+    def remove_if(self, predicate: Callable[[Rule], bool]) -> List[Rule]:
+        """Remove and return every rule satisfying ``predicate``."""
+        doomed = [rule for rule in self.rules() if predicate(rule)]
+        for rule in doomed:
+            self.remove(rule)
+        return doomed
+
+    def clear(self) -> None:
+        """Remove every rule (sequence state is reset too)."""
+        raise NotImplementedError
+
+    # -- lookup ------------------------------------------------------------
+    def lookup_bits(self, header_bits: int) -> Optional[Rule]:
+        """The winning rule for packed ``header_bits``, or ``None``."""
+        raise NotImplementedError
+
+    def batch_lookup(self, header_bits_seq: Iterable[int]) -> List[Optional[Rule]]:
+        """Classify a burst of packed headers in one call.
+
+        Engines override this when they can hoist per-lookup setup (dirty
+        checks, attribute loads) out of the loop; the contract is
+        element-wise identical to :meth:`lookup_bits`.
+        """
+        lookup = self.lookup_bits
+        return [lookup(bits) for bits in header_bits_seq]
+
+    # -- views -------------------------------------------------------------
+    def rules(self) -> List[Rule]:
+        """Every stored rule, in lookup (priority, then insertion) order."""
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def __contains__(self, rule: Rule) -> bool:
+        return any(existing is rule for existing in self.rules())
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {len(self)} rules>"
+
+    # -- shared helpers ----------------------------------------------------
+    def _check_layout(self, rule: Rule) -> None:
+        if rule.match.layout != self.layout:
+            raise ValueError("rule layout differs from engine layout")
+
+
+class LinearEngine(MatchEngine):
+    """Priority-ordered list with linear-scan lookup (the semantics oracle).
+
+    Identical behaviour to the historical ``RuleTable`` internals, plus a
+    ``rule_id → rule`` index so removal no longer identity-scans the whole
+    list: membership is O(1) and locating the list slot is a binary search
+    on the (unique) ordering key.
+    """
+
+    name = "linear"
+
+    def __init__(self, layout: HeaderLayout, rules: Optional[Iterable[Rule]] = None):
+        super().__init__(layout)
+        self._rules: List[Rule] = []
+        self._sequence = 0
+        #: rule_id -> insertion sequence (the tie-break half of the key).
+        self._order: Dict[int, int] = {}
+        #: rule_id -> rule, for O(1) identity membership.
+        self._by_id: Dict[int, Rule] = {}
+        if rules:
+            for rule in rules:
+                self.add(rule)
+
+    def _key(self, rule: Rule) -> _Key:
+        return (-rule.priority, self._order[rule.rule_id])
+
+    # -- mutation ----------------------------------------------------------
+    def add(self, rule: Rule) -> None:
+        self._check_layout(rule)
+        self._order[rule.rule_id] = self._sequence
+        self._by_id[rule.rule_id] = rule
+        self._sequence += 1
+        self._rules.insert(self._bisect(self._key(rule)), rule)
+
+    def _bisect(self, key: _Key) -> int:
+        """First index whose key is greater than ``key``."""
+        low, high = 0, len(self._rules)
+        while low < high:
+            mid = (low + high) // 2
+            if self._key(self._rules[mid]) <= key:
+                low = mid + 1
+            else:
+                high = mid
+        return low
+
+    def remove(self, rule: Rule) -> bool:
+        if self._by_id.get(rule.rule_id) is not rule:
+            return False
+        index = self._bisect(self._key(rule)) - 1
+        # Keys are unique, so the slot immediately left of the upper bound
+        # is the rule itself.
+        assert self._rules[index] is rule
+        del self._rules[index]
+        del self._order[rule.rule_id]
+        del self._by_id[rule.rule_id]
+        return True
+
+    def remove_if(self, predicate: Callable[[Rule], bool]) -> List[Rule]:
+        kept: List[Rule] = []
+        removed: List[Rule] = []
+        for rule in self._rules:
+            (removed if predicate(rule) else kept).append(rule)
+        self._rules = kept
+        for rule in removed:
+            del self._order[rule.rule_id]
+            del self._by_id[rule.rule_id]
+        return removed
+
+    def clear(self) -> None:
+        self._rules.clear()
+        self._order.clear()
+        self._by_id.clear()
+        self._sequence = 0
+
+    # -- lookup ------------------------------------------------------------
+    def lookup_bits(self, header_bits: int) -> Optional[Rule]:
+        for rule in self._rules:
+            if rule.match.matches_bits(header_bits):
+                return rule
+        return None
+
+    def batch_lookup(self, header_bits_seq: Iterable[int]) -> List[Optional[Rule]]:
+        rules = self._rules
+        results: List[Optional[Rule]] = []
+        append = results.append
+        for bits in header_bits_seq:
+            winner = None
+            for rule in rules:
+                if rule.match.matches_bits(bits):
+                    winner = rule
+                    break
+            append(winner)
+        return results
+
+    # -- views -------------------------------------------------------------
+    def rules(self) -> List[Rule]:
+        return list(self._rules)
+
+    def ordered_view(self) -> Sequence[Rule]:
+        """The live ordered list (no copy); callers must not mutate it."""
+        return self._rules
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+    def __contains__(self, rule: Rule) -> bool:
+        return self._by_id.get(rule.rule_id) is rule
+
+
+class TupleSpaceEngine(TupleSpaceTable, MatchEngine):
+    """Tuple-space search behind the :class:`MatchEngine` interface.
+
+    Adopts :class:`~repro.flowspace.tuplespace.TupleSpaceTable` (which was
+    previously dead code) and adds the interface surface the engine layer
+    needs: ordered :meth:`rules`, :meth:`clear`, predicate removal and
+    batch lookup.
+    """
+
+    name = "tuplespace"
+
+    def __init__(self, layout: HeaderLayout, rules: Optional[Iterable[Rule]] = None):
+        TupleSpaceTable.__init__(self, layout, rules)
+
+    def remove_if(self, predicate: Callable[[Rule], bool]) -> List[Rule]:
+        doomed = [rule for rule in self.rules() if predicate(rule)]
+        for rule in doomed:
+            self.remove(rule)
+        return doomed
+
+    def clear(self) -> None:
+        self._groups.clear()
+        self._scan_order = []
+        self._size = 0
+        self._sequence = 0
+
+    def batch_lookup(self, header_bits_seq: Iterable[int]) -> List[Optional[Rule]]:
+        lookup = self.lookup_bits
+        return [lookup(bits) for bits in header_bits_seq]
+
+    def rules(self) -> List[Rule]:
+        entries = [
+            (key, rule)
+            for group in self._groups.values()
+            for bucket in group.buckets.values()
+            for key, rule in bucket
+        ]
+        entries.sort(key=lambda item: item[0])
+        return [rule for _, rule in entries]
+
+    def __contains__(self, rule: Rule) -> bool:
+        group = self._groups.get(rule.match.ternary.mask)
+        if group is None:
+            return False
+        bucket = group.buckets.get(rule.match.ternary.value)
+        return any(existing is rule for _, existing in bucket or ())
+
+
+class DecisionTreeEngine(MatchEngine):
+    """Bit-cut decision-tree lookup (HiCuts-style), built lazily.
+
+    Reuses the partitioner's cut-selection machinery
+    (:func:`repro.core.partition._choose_cut` — minimize straddling rules,
+    then balance) to build a binary tree over header bits; each leaf holds
+    the rules overlapping its region in lookup order, so a lookup walks
+    ~log(n/leaf) bits and scans a small leaf.
+
+    Wildcard-heavy rules copy into both children of every cut, so an
+    unconstrained tree blows up superlinearly on ClassBench-style
+    policies.  The build budgets total duplication at ``space_factor``
+    extra copies per rule (HiCuts' space-factor measure) and passes the
+    budget *proportionally* down the recursion — a global depth-first pool
+    starves late subtrees into giant leaves, which is exactly where
+    probes land.
+
+    Mutations after a build go to a linear *overlay* (adds) or are masked
+    by the authoritative base store (removes); the tree is rebuilt lazily
+    once the overlay outgrows ``rebuild_slack`` — so churny tables degrade
+    gracefully toward linear behaviour between rebuilds instead of paying
+    a full O(n·width) rebuild per install.
+    """
+
+    name = "dtree"
+
+    def __init__(
+        self,
+        layout: HeaderLayout,
+        rules: Optional[Iterable[Rule]] = None,
+        leaf_size: int = 16,
+        max_depth: Optional[int] = None,
+        space_factor: int = 8,
+    ):
+        super().__init__(layout)
+        self.leaf_size = leaf_size
+        #: Depth cap; every cut fixes one header bit, so ``layout.width``
+        #: (the default) is the natural ceiling, not a tuning knob.
+        self.max_depth = layout.width if max_depth is None else max_depth
+        self.space_factor = space_factor
+        #: Authoritative ordered storage (also the overlay's membership oracle).
+        self._base = LinearEngine(layout)
+        #: The built tree: nested (bit, zero_child, one_child) tuples with
+        #: list leaves of (key, rule); ``None`` = no tree yet.
+        self._root = None
+        #: rule_ids the current tree covers.
+        self._tree_ids: frozenset = frozenset()
+        #: Rules added since the last build, in lookup order (key, rule).
+        self._overlay: List[Tuple[_Key, Rule]] = []
+        #: Tree entries removed since the last build.
+        self._tombstones = 0
+        if rules:
+            for rule in rules:
+                self.add(rule)
+
+    # -- mutation ----------------------------------------------------------
+    def add(self, rule: Rule) -> None:
+        self._check_layout(rule)
+        self._base.add(rule)
+        if self._root is not None:
+            key = self._base._key(rule)
+            index = 0
+            for index, (existing_key, _) in enumerate(self._overlay):
+                if existing_key > key:
+                    break
+            else:
+                index = len(self._overlay)
+            self._overlay.insert(index, (key, rule))
+
+    def remove(self, rule: Rule) -> bool:
+        removed = self._base.remove(rule)
+        if removed and self._root is not None:
+            if rule.rule_id in self._tree_ids:
+                self._tombstones += 1
+            else:
+                self._overlay = [
+                    entry for entry in self._overlay if entry[1] is not rule
+                ]
+        return removed
+
+    def remove_if(self, predicate: Callable[[Rule], bool]) -> List[Rule]:
+        removed = self._base.remove_if(predicate)
+        if removed and self._root is not None:
+            doomed_ids = {rule.rule_id for rule in removed}
+            self._tombstones += len(doomed_ids & self._tree_ids)
+            self._overlay = [
+                entry for entry in self._overlay
+                if entry[1].rule_id not in doomed_ids
+            ]
+        return removed
+
+    def clear(self) -> None:
+        self._base.clear()
+        self._root = None
+        self._tree_ids = frozenset()
+        self._overlay = []
+        self._tombstones = 0
+
+    # -- the tree ----------------------------------------------------------
+    def _stale(self) -> bool:
+        slack = max(32, len(self._base) // 4)
+        return len(self._overlay) + self._tombstones > slack
+
+    def _ensure_tree(self) -> None:
+        if self._root is None or self._stale():
+            self.build()
+
+    def build(self) -> None:
+        """(Re)build the decision tree over the current rule set."""
+        # Imported lazily: core.partition depends on flowspace, so a
+        # module-level import here would be circular.
+        import numpy as np
+
+        from repro.core.partition import (
+            _Node,
+            _choose_cut,
+            _rule_bit_matrix,
+            _split,
+        )
+        from repro.flowspace.ternary import Ternary
+
+        ordered = self._base.ordered_view()
+        entries = [(self._base._key(rule), rule) for rule in ordered]
+        rules = [rule for _, rule in entries]
+        matrix = _rule_bit_matrix(rules, self.layout.width)
+        root = _Node(Ternary.wildcard(self.layout.width), np.arange(len(rules)), 0)
+
+        def grow(node, budget):
+            if (
+                len(node.indices) <= self.leaf_size
+                or node.depth >= self.max_depth
+            ):
+                return [entries[i] for i in node.indices]
+            cut = _choose_cut(node, matrix, "split-aware")
+            if cut is None:
+                return [entries[i] for i in node.indices]
+            left, right = _split(node, matrix, cut)
+            n_left, n_right = len(left.indices), len(right.indices)
+            duplicated = n_left + n_right - len(node.indices)
+            if duplicated >= len(node.indices) or duplicated > budget:
+                # Every rule straddles the cut, or this subtree's share of
+                # the duplication budget is spent: stop and scan linearly.
+                return [entries[i] for i in node.indices]
+            # Split the remaining budget proportionally to child size so
+            # no subtree is starved into a giant leaf.
+            remaining = budget - duplicated
+            left_budget = remaining * n_left // (n_left + n_right)
+            return (
+                cut,
+                grow(left, left_budget),
+                grow(right, remaining - left_budget),
+            )
+
+        self._root = grow(root, max(self.space_factor * len(rules), 256))
+        self._tree_ids = frozenset(rule.rule_id for rule in rules)
+        self._overlay = []
+        self._tombstones = 0
+
+    # -- lookup ------------------------------------------------------------
+    def lookup_bits(self, header_bits: int) -> Optional[Rule]:
+        self._ensure_tree()
+        return self._lookup_built(header_bits)
+
+    def _lookup_built(self, header_bits: int) -> Optional[Rule]:
+        alive = self._base._by_id
+        node = self._root
+        while type(node) is tuple:
+            bit, zero_child, one_child = node
+            node = one_child if (header_bits >> bit) & 1 else zero_child
+        best: Optional[Tuple[_Key, Rule]] = None
+        for key, rule in node:
+            if alive.get(rule.rule_id) is rule and rule.match.matches_bits(
+                header_bits
+            ):
+                best = (key, rule)
+                break  # leaves are key-sorted: first live match wins
+        for key, rule in self._overlay:
+            if best is not None and best[0] < key:
+                break  # overlay is key-sorted too
+            if rule.match.matches_bits(header_bits):
+                best = (key, rule)
+                break
+        return best[1] if best is not None else None
+
+    def batch_lookup(self, header_bits_seq: Iterable[int]) -> List[Optional[Rule]]:
+        self._ensure_tree()
+        lookup = self._lookup_built
+        return [lookup(bits) for bits in header_bits_seq]
+
+    # -- views -------------------------------------------------------------
+    def rules(self) -> List[Rule]:
+        return self._base.rules()
+
+    def __len__(self) -> int:
+        return len(self._base)
+
+    def __contains__(self, rule: Rule) -> bool:
+        return rule in self._base
+
+
+# ---------------------------------------------------------------------------
+# Engine selection
+# ---------------------------------------------------------------------------
+
+_ENGINES: Dict[str, type] = {
+    "linear": LinearEngine,
+    "tuplespace": TupleSpaceEngine,
+    "dtree": DecisionTreeEngine,
+}
+
+#: Valid values for the CLI's ``--engine`` flag.
+ENGINE_CHOICES = tuple(_ENGINES)
+
+_default_engine = "linear"
+
+#: Anything :func:`create_engine` accepts: a registry name, ``None`` (use
+#: the process default), an engine instance, or an engine factory/class.
+EngineSpec = Union[None, str, MatchEngine, Callable[[HeaderLayout], MatchEngine]]
+
+
+def set_default_engine(name: str) -> None:
+    """Set the process-wide default engine (the CLI's ``--engine`` flag)."""
+    global _default_engine
+    if name not in _ENGINES:
+        raise ValueError(f"unknown engine {name!r}; choose from {ENGINE_CHOICES}")
+    _default_engine = name
+
+
+def get_default_engine() -> str:
+    """The current process-wide default engine name."""
+    return _default_engine
+
+
+def create_engine(spec: EngineSpec, layout: HeaderLayout) -> MatchEngine:
+    """Resolve an engine spec to a fresh (or given) engine instance.
+
+    ``None`` resolves to the process default, a string through the
+    registry, a :class:`MatchEngine` instance is used as-is (caller keeps
+    ownership), and any other callable is invoked with ``layout``.
+    """
+    if spec is None:
+        spec = _default_engine
+    if isinstance(spec, str):
+        try:
+            factory = _ENGINES[spec]
+        except KeyError:
+            raise ValueError(
+                f"unknown engine {spec!r}; choose from {ENGINE_CHOICES}"
+            ) from None
+        return factory(layout)
+    if isinstance(spec, MatchEngine):
+        return spec
+    return spec(layout)

@@ -2,10 +2,15 @@
 
 A :class:`RuleTable` is the software model of a classifier: rules ordered
 by priority (ties broken by insertion order, matching OpenFlow's
-first-installed-wins convention for equal priorities), linear-search
-lookup, plus the analysis helpers the DIFANE algorithms and the test
-oracles rely on: shadow detection, overlap enumeration, and randomized
-semantic-equivalence checking.
+first-installed-wins convention for equal priorities), plus the analysis
+helpers the DIFANE algorithms and the test oracles rely on: shadow
+detection, overlap enumeration, and randomized semantic-equivalence
+checking.
+
+Storage and lookup are delegated to a pluggable
+:class:`~repro.flowspace.engine.MatchEngine` (linear scan, tuple-space
+search, or decision tree — see :mod:`repro.flowspace.engine`); the table
+keeps the analysis layer and the stable public API.
 """
 
 from __future__ import annotations
@@ -13,10 +18,11 @@ from __future__ import annotations
 import random
 from typing import Callable, Iterable, Iterator, List, Optional, Sequence, Tuple
 
+from repro.flowspace.engine import EngineSpec, create_engine
 from repro.flowspace.fields import HeaderLayout
 from repro.flowspace.headerspace import HeaderSpace
 from repro.flowspace.packet import Packet
-from repro.flowspace.rule import Match, Rule
+from repro.flowspace.rule import Rule
 
 __all__ = ["RuleTable"]
 
@@ -24,16 +30,30 @@ __all__ = ["RuleTable"]
 class RuleTable:
     """An ordered wildcard-rule classifier.
 
-    The table maintains rules sorted by ``(-priority, sequence)`` where
-    ``sequence`` is insertion order, so iteration visits rules in exactly
-    the order a lookup considers them.
+    Lookup visits rules in ``(-priority, insertion sequence)`` order
+    regardless of the backing engine; :attr:`rules` exposes exactly that
+    order.
+
+    Parameters
+    ----------
+    layout:
+        Header layout shared by every rule.
+    rules:
+        Initial rules, inserted in iteration order.
+    engine:
+        Lookup backend: an engine name (``"linear"``, ``"tuplespace"``,
+        ``"dtree"``), a :class:`~repro.flowspace.engine.MatchEngine`
+        instance, a factory, or ``None`` for the process default.
     """
 
-    def __init__(self, layout: HeaderLayout, rules: Optional[Iterable[Rule]] = None):
+    def __init__(
+        self,
+        layout: HeaderLayout,
+        rules: Optional[Iterable[Rule]] = None,
+        engine: EngineSpec = None,
+    ):
         self.layout = layout
-        self._rules: List[Rule] = []
-        self._sequence = 0
-        self._order: dict = {}
+        self.engine = create_engine(engine, layout)
         if rules:
             for rule in rules:
                 self.add(rule)
@@ -43,61 +63,32 @@ class RuleTable:
         """Insert ``rule`` in priority position."""
         if rule.match.layout != self.layout:
             raise ValueError("rule layout differs from table layout")
-        self._order[rule.rule_id] = self._sequence
-        self._sequence += 1
-        index = self._insertion_index(rule)
-        self._rules.insert(index, rule)
+        self.engine.add(rule)
 
     def remove(self, rule: Rule) -> bool:
         """Remove ``rule`` (by identity); returns whether it was present."""
-        for index, existing in enumerate(self._rules):
-            if existing is rule:
-                del self._rules[index]
-                self._order.pop(rule.rule_id, None)
-                return True
-        return False
+        return self.engine.remove(rule)
 
     def remove_if(self, predicate: Callable[[Rule], bool]) -> List[Rule]:
         """Remove and return every rule satisfying ``predicate``."""
-        kept: List[Rule] = []
-        removed: List[Rule] = []
-        for rule in self._rules:
-            (removed if predicate(rule) else kept).append(rule)
-        self._rules = kept
-        for rule in removed:
-            self._order.pop(rule.rule_id, None)
-        return removed
+        return self.engine.remove_if(predicate)
 
     def clear(self) -> None:
-        """Remove every rule."""
-        self._rules.clear()
-        self._order.clear()
-
-    def _insertion_index(self, rule: Rule) -> int:
-        """Index preserving (-priority, insertion sequence) order."""
-        sequence = self._order[rule.rule_id]
-        low, high = 0, len(self._rules)
-        while low < high:
-            mid = (low + high) // 2
-            existing = self._rules[mid]
-            existing_key = (-existing.priority, self._order[existing.rule_id])
-            if existing_key <= (-rule.priority, sequence):
-                low = mid + 1
-            else:
-                high = mid
-        return low
+        """Remove every rule (insertion-sequence state resets too)."""
+        self.engine.clear()
 
     # -- lookup ------------------------------------------------------------------
     def lookup(self, packet: Packet) -> Optional[Rule]:
         """The highest-priority rule matching ``packet``, or ``None``."""
-        return self.lookup_bits(packet.header_bits)
+        return self.engine.lookup_bits(packet.header_bits)
 
     def lookup_bits(self, header_bits: int) -> Optional[Rule]:
         """The highest-priority rule matching the packed ``header_bits``."""
-        for rule in self._rules:
-            if rule.match.matches_bits(header_bits):
-                return rule
-        return None
+        return self.engine.lookup_bits(header_bits)
+
+    def batch_lookup(self, header_bits_seq: Iterable[int]) -> List[Optional[Rule]]:
+        """Element-wise :meth:`lookup_bits` over a burst of headers."""
+        return self.engine.batch_lookup(header_bits_seq)
 
     def classify(self, packet: Packet) -> Optional[Rule]:
         """Like :meth:`lookup` but also updates the winning rule's counters."""
@@ -114,7 +105,7 @@ class RuleTable:
         caching ``rule`` verbatim would steal their packets.
         """
         result = []
-        for other in self._rules:
+        for other in self.engine.rules():
             if other is rule:
                 break
             if other.match.intersects(rule.match):
@@ -130,7 +121,7 @@ class RuleTable:
         """
         shadowed = []
         covered_so_far: List[Rule] = []
-        for rule in self._rules:
+        for rule in self.engine.rules():
             space = HeaderSpace.of(rule.match.ternary)
             space = space.subtract_all(
                 other.match.ternary
@@ -149,7 +140,7 @@ class RuleTable:
         basis of DIFANE's independent cache-rule generation.
         """
         space = HeaderSpace.of(rule.match.ternary)
-        for other in self._rules:
+        for other in self.engine.rules():
             if other is rule:
                 break
             if other.match.intersects(rule.match):
@@ -174,7 +165,7 @@ class RuleTable:
         points: List[int] = []
         for _ in range(samples):
             points.append(rng.getrandbits(self.layout.width))
-        for rule in self._rules:
+        for rule in self.engine.rules():
             points.append(rule.match.ternary.value)  # lowest corner
             points.append(rule.match.ternary.sample(rng))
         for bits in points:
@@ -188,19 +179,22 @@ class RuleTable:
     @property
     def rules(self) -> Sequence[Rule]:
         """The rules in lookup order (read-only view)."""
-        return tuple(self._rules)
+        return tuple(self.engine.rules())
 
     def __len__(self) -> int:
-        return len(self._rules)
+        return len(self.engine)
 
     def __iter__(self) -> Iterator[Rule]:
-        return iter(self._rules)
+        return iter(self.engine.rules())
 
     def __contains__(self, rule: Rule) -> bool:
-        return any(existing is rule for existing in self._rules)
+        return rule in self.engine
 
     def __repr__(self) -> str:
-        return f"RuleTable({len(self._rules)} rules, layout={self.layout!r})"
+        return (
+            f"RuleTable({len(self.engine)} rules, engine={self.engine.name}, "
+            f"layout={self.layout!r})"
+        )
 
 
 def _same_outcome(mine: Optional[Rule], theirs: Optional[Rule]) -> bool:

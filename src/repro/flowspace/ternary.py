@@ -18,7 +18,7 @@ operations over ternary strings (see :mod:`repro.core.partition` and
 from __future__ import annotations
 
 import random
-from typing import Iterator, List, Optional, Sequence
+from typing import Iterator, List, Optional
 
 from repro.flowspace.bits import bit_at, mask_of_width, popcount
 

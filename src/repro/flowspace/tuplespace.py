@@ -39,7 +39,17 @@ class _TupleGroup:
         self.max_priority = -1
 
     def insert(self, key: Tuple[int, int], rule: Rule) -> None:
-        """Add ``rule`` under its lookup-order ``key``."""
+        """Add ``rule`` under its lookup-order ``key``.
+
+        The rule's mask must equal the group's: a mismatched rule would be
+        hashed under the wrong bucket key and silently never (or wrongly)
+        match, so it is rejected here rather than corrupting lookups.
+        """
+        if rule.match.ternary.mask != self.mask:
+            raise ValueError(
+                f"rule mask {rule.match.ternary.mask:#x} does not agree with "
+                f"tuple-group mask {self.mask:#x}"
+            )
         masked = rule.match.ternary.value  # already normalized to the mask
         bucket = self.buckets.setdefault(masked, [])
         bucket.append((key, rule))

@@ -9,7 +9,7 @@ feed the utilization analysis in the stretch and throughput experiments.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Callable
 
 from repro.net.events import EventScheduler
 

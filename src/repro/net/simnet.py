@@ -17,7 +17,7 @@ flows without touching rules — exactly the separation DIFANE argues for
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.flowspace.packet import Packet
@@ -125,6 +125,31 @@ class SimNetwork:
         packet.created_at = self.scheduler.now
         packet.ingress_switch = switch
         self._arrive(switch, packet)
+
+    def inject_burst_at_switch(self, switch: str, packets: List[Packet]) -> None:
+        """Hand a same-instant burst directly to ``switch``.
+
+        Flow-event workloads that emit many packets at one timestamp go
+        through the behaviour's ``handle_burst`` (batched classification,
+        see :meth:`MatchEngine.batch_lookup`) instead of paying per-packet
+        dispatch; behaviours without burst support fall back to the
+        per-packet path with identical outcomes.
+        """
+        now = self.scheduler.now
+        for packet in packets:
+            packet.created_at = now
+            packet.ingress_switch = switch
+        behaviour = self._nodes.get(switch)
+        if behaviour is None:
+            for packet in packets:
+                self.record_drop(packet, switch, "no behaviour registered")
+            return
+        burst = getattr(behaviour, "handle_burst", None)
+        if burst is not None:
+            burst(self, packets)
+        else:
+            for packet in packets:
+                behaviour.handle_packet(self, packet)
 
     def transmit(self, from_node: str, to_node: str, packet: Packet) -> None:
         """Send ``packet`` over the ``from_node`` → ``to_node`` link."""

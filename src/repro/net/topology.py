@@ -16,7 +16,7 @@ from __future__ import annotations
 import itertools
 import math
 import random
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import List, Optional
 
 import networkx as nx
 

@@ -12,7 +12,7 @@ relies on.
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Callable
 
 from repro.net.events import EventScheduler
 from repro.openflow.messages import Message

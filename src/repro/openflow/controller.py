@@ -18,7 +18,7 @@ Concrete controllers subclass this:
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict
 
 from repro.net.events import EventScheduler, ServiceStation
 from repro.openflow.channel import ControlChannel, DEFAULT_CONTROL_LATENCY_S

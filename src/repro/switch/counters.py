@@ -8,7 +8,7 @@ aggregating is a fold over :meth:`Rule.root_origin`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable
 
 from repro.flowspace.rule import Rule

@@ -20,8 +20,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
-from typing import Optional
+from typing import List, Optional, Sequence
 
+from repro.flowspace.engine import EngineSpec
 from repro.flowspace.fields import HeaderLayout
 from repro.flowspace.packet import Packet
 from repro.flowspace.rule import Rule, RuleKind
@@ -68,6 +69,9 @@ class DifanePipeline:
     partition_capacity:
         Entry budget for partition rules — small by design (one per
         partition; the paper's point is that this is tiny).
+    engine:
+        Lookup backend shared by all three regions (see
+        :mod:`repro.flowspace.engine`); ``None`` uses the process default.
     """
 
     def __init__(
@@ -76,11 +80,12 @@ class DifanePipeline:
         cache_capacity: Optional[int] = None,
         authority_capacity: Optional[int] = None,
         partition_capacity: Optional[int] = None,
+        engine: EngineSpec = None,
     ):
         self.layout = layout
-        self.cache = Tcam(layout, cache_capacity)
-        self.authority = Tcam(layout, authority_capacity)
-        self.partition = Tcam(layout, partition_capacity)
+        self.cache = Tcam(layout, cache_capacity, engine=engine)
+        self.authority = Tcam(layout, authority_capacity, engine=engine)
+        self.partition = Tcam(layout, partition_capacity, engine=engine)
         self.misses = 0
 
     def lookup(self, packet: Packet, now: Optional[float] = None) -> LookupResult:
@@ -96,6 +101,39 @@ class DifanePipeline:
             return LookupResult(rule, PipelineStage.PARTITION)
         self.misses += 1
         return LookupResult(None, PipelineStage.MISS)
+
+    def lookup_batch(
+        self, packets: Sequence[Packet], now: Optional[float] = None
+    ) -> List[LookupResult]:
+        """Batch :meth:`lookup`: classify a burst stage-by-stage.
+
+        Each stage's engine is dispatched once for the whole burst (the
+        point of :meth:`MatchEngine.batch_lookup`); packets that miss a
+        stage flow to the next one, preserving per-packet results and all
+        hit/miss counters exactly as sequential :meth:`lookup` calls would.
+        """
+        results: List[Optional[LookupResult]] = [None] * len(packets)
+        pending = list(range(len(packets)))
+        for tcam, stage in (
+            (self.cache, PipelineStage.CACHE),
+            (self.authority, PipelineStage.AUTHORITY),
+            (self.partition, PipelineStage.PARTITION),
+        ):
+            if not pending:
+                break
+            subset = [packets[i] for i in pending]
+            winners = tcam.lookup_batch(subset, now)
+            still_pending = []
+            for index, winner in zip(pending, winners):
+                if winner is not None:
+                    results[index] = LookupResult(winner, stage)
+                else:
+                    still_pending.append(index)
+            pending = still_pending
+        for index in pending:
+            self.misses += 1
+            results[index] = LookupResult(None, PipelineStage.MISS)
+        return results
 
     def install(self, rule: Rule, now: Optional[float] = None, **kwargs) -> Rule:
         """Install ``rule`` into the region its :class:`RuleKind` selects."""

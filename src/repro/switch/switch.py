@@ -83,6 +83,22 @@ class DataPlaneSwitch:
         else:
             self._enqueue(packet)
 
+    def handle_burst(self, network, packets) -> None:
+        """Entry point for a same-instant packet burst.
+
+        When the switch has no per-packet budget or delay to model, the
+        whole burst goes through :meth:`process_batch` — one classify
+        dispatch instead of one per packet.  A switch with a processing
+        budget degrades to per-packet handling, since the budget is
+        defined packet-by-packet.
+        """
+        if self._station is not None or self.forwarding_delay_s > 0:
+            for packet in packets:
+                self.handle_packet(network, packet)
+            return
+        self.packets_seen += len(packets)
+        self.process_batch(list(packets))
+
     def _enqueue(self, packet: Packet) -> None:
         if self._station is None:
             self._process_now(packet)
@@ -100,6 +116,16 @@ class DataPlaneSwitch:
     def process(self, packet: Packet) -> None:
         """Classify and act on one packet.  Subclasses must override."""
         raise NotImplementedError
+
+    def process_batch(self, packets) -> None:
+        """Classify and act on a same-instant burst.
+
+        The default is the per-packet loop; switches whose classifier
+        supports batched lookup (:meth:`MatchEngine.batch_lookup`)
+        override this to classify the burst in one engine dispatch.
+        """
+        for packet in packets:
+            self.process(packet)
 
     # -- action execution ---------------------------------------------------------------
     def execute(self, packet: Packet, actions: ActionList) -> None:

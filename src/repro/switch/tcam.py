@@ -10,8 +10,9 @@ authority switch needs.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, List, Optional
+from typing import Callable, List, Optional, Sequence
 
+from repro.flowspace.engine import EngineSpec
 from repro.flowspace.fields import HeaderLayout
 from repro.flowspace.packet import Packet
 from repro.flowspace.rule import Rule, RuleKind
@@ -34,14 +35,22 @@ class Tcam:
     capacity:
         Maximum number of entries; ``None`` means unbounded (used to model
         software tables, which trade capacity for lookup speed).
+    engine:
+        Lookup backend for the backing table (see
+        :mod:`repro.flowspace.engine`); ``None`` uses the process default.
     """
 
-    def __init__(self, layout: HeaderLayout, capacity: Optional[int] = None):
+    def __init__(
+        self,
+        layout: HeaderLayout,
+        capacity: Optional[int] = None,
+        engine: EngineSpec = None,
+    ):
         if capacity is not None and capacity < 0:
             raise ValueError(f"capacity must be non-negative, got {capacity}")
         self.layout = layout
         self.capacity = capacity
-        self.table = RuleTable(layout)
+        self.table = RuleTable(layout, engine=engine)
         self.high_water = 0
         self.installs = 0
         self.evictions = 0
@@ -124,6 +133,18 @@ class Tcam:
             self.hits += 1
             winner.record_hit(packet, now)
         return winner
+
+    def lookup_batch(
+        self, packets: Sequence[Packet], now: Optional[float] = None
+    ) -> List[Optional[Rule]]:
+        """Batch :meth:`lookup`: one engine dispatch for a packet burst."""
+        winners = self.table.batch_lookup(packet.header_bits for packet in packets)
+        self.lookups += len(packets)
+        for packet, winner in zip(packets, winners):
+            if winner is not None:
+                self.hits += 1
+                winner.record_hit(packet, now)
+        return winners
 
     def peek(self, packet: Packet) -> Optional[Rule]:
         """Lookup without touching any counters (analysis only)."""

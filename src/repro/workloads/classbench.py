@@ -26,7 +26,7 @@ catch-all rule.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.flowspace.action import Drop, Forward

@@ -20,7 +20,7 @@ configuration.  These synthesizers produce policies with the same
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Tuple
 
 from repro.flowspace.action import Drop, Forward
 from repro.flowspace.fields import FIVE_TUPLE_LAYOUT, HeaderLayout, parse_ip

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence
 
 from repro.flowspace.fields import HeaderLayout
 from repro.flowspace.packet import Packet

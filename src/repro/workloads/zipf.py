@@ -9,7 +9,7 @@ deterministic for a given seed.
 from __future__ import annotations
 
 import random
-from typing import List, Optional, Sequence
+from typing import List
 
 import numpy as np
 
