@@ -1,0 +1,37 @@
+"""C1: chaos soak — robustness targets under composed faults.
+
+One seeded soak run: lossy links, switch kills (one authority among
+them), link flaps, loss bursts and a control-plane brownout, under
+steady traffic.  The assertions are the chaos layer's contract: zero
+partition-invariant violations after every reconvergence, zero
+unattributed drops, zero unaccounted packets, and the authority kill
+detected by heartbeats alone.
+
+Archives both the human-readable table and a JSON summary
+(``C1-chaos-soak.json``) for trend tracking.
+"""
+
+import json
+
+from conftest import RESULTS_DIR, run_once
+
+from repro.analysis.report import render_table
+from repro.experiments.chaos import run_chaos_soak
+
+
+def test_fig_chaos_soak(benchmark, archive):
+    result = run_once(benchmark, run_chaos_soak)
+    archive(
+        result.name,
+        render_table(result.table_headers, result.table_rows, title=result.title),
+    )
+    summary = {k: v for k, v in result.notes.items() if not k.startswith("_")}
+    (RESULTS_DIR / f"{result.name}.json").write_text(
+        json.dumps(summary, indent=2) + "\n"
+    )
+
+    assert result.notes["invariant_violations"] == 0
+    assert result.notes["unattributed_drops"] == 0
+    assert result.notes["unaccounted_packets"] == 0
+    assert result.notes["detections"] >= 1
+    assert result.notes["detection_latencies_s"], "authority kill went undetected"

@@ -95,6 +95,19 @@ def _e10(quick: bool) -> ExperimentResult:
     return run_cut_ablation(partition_counts=[4, 16] if quick else None)
 
 
+#: Chaos-soak knobs settable from the command line (see ``run`` flags).
+CHAOS_OPTIONS: Dict[str, float] = {}
+
+
+def _c1(quick: bool) -> ExperimentResult:
+    from repro.experiments.chaos import run_chaos_soak
+    kwargs = dict(CHAOS_OPTIONS)
+    if quick:
+        kwargs.setdefault("rate", 2000.0)
+        kwargs.setdefault("duration", 0.5)
+    return run_chaos_soak(**kwargs)
+
+
 EXPERIMENTS: Dict[str, Tuple[str, Callable[[bool], ExperimentResult]]] = {
     "E1": ("Table 1: evaluated policies", _e1),
     "E2": ("Fig: setup throughput, DIFANE vs NOX", _e2),
@@ -106,6 +119,7 @@ EXPERIMENTS: Dict[str, Tuple[str, Callable[[bool], ExperimentResult]]] = {
     "E8": ("Fig: stretch by authority placement", _e8),
     "E9": ("Table: cost of network dynamics", _e9),
     "E10": ("Ablation: cut-selection heuristic", _e10),
+    "C1": ("Chaos soak: faults, detection, degradation", _c1),
 }
 
 
@@ -146,6 +160,13 @@ def main(argv=None) -> int:
     run.add_argument("--engine", choices=ENGINE_CHOICES, default=None,
                      help="match-engine backend for every classifier "
                           "(default: linear)")
+    run.add_argument("--chaos-seed", type=int, default=None, metavar="N",
+                     help="C1: seed for the randomized fault schedule")
+    run.add_argument("--loss", type=float, default=None, metavar="P",
+                     help="C1: baseline per-link drop probability")
+    run.add_argument("--heartbeat-interval", type=float, default=None,
+                     metavar="SECONDS",
+                     help="C1: authority heartbeat period")
 
     args = parser.parse_args(argv)
 
@@ -166,6 +187,13 @@ def main(argv=None) -> int:
         # Process-wide default: every classifier the experiments build —
         # pipelines, policy tables, cache simulators — resolves to this.
         set_default_engine(args.engine)
+
+    if args.chaos_seed is not None:
+        CHAOS_OPTIONS["seed"] = args.chaos_seed
+    if args.loss is not None:
+        CHAOS_OPTIONS["loss"] = args.loss
+    if args.heartbeat_interval is not None:
+        CHAOS_OPTIONS["heartbeat_interval_s"] = args.heartbeat_interval
 
     for key in wanted:
         _, runner = EXPERIMENTS[key]

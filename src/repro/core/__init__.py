@@ -24,7 +24,12 @@ from repro.core.partition import (
 )
 from repro.core.cachegen import generate_cache_rule, generate_cache_rules
 from repro.core.authority import DifaneSwitch
-from repro.core.controller import DifaneController, DifaneNetwork
+from repro.core.controller import (
+    DifaneController,
+    DifaneNetwork,
+    HeartbeatMonitor,
+    PartitionInvariantError,
+)
 from repro.core.placement import choose_authority_switches
 from repro.core.optimize import prune_shadowed_rules, shadow_report
 from repro.core.dynamics import ChurnEvent, ChurnWorkload
@@ -41,6 +46,8 @@ __all__ = [
     "DifaneSwitch",
     "DifaneController",
     "DifaneNetwork",
+    "HeartbeatMonitor",
+    "PartitionInvariantError",
     "choose_authority_switches",
     "prune_shadowed_rules",
     "shadow_report",

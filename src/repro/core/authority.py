@@ -34,6 +34,14 @@ from repro.core.cachegen import (
     generate_cache_rules,
 )
 from repro.net.events import ServiceStation
+from repro.openflow.messages import (
+    FlowMod,
+    FlowModCommand,
+    Heartbeat,
+    Message,
+    PacketIn,
+    PacketOut,
+)
 from repro.switch.cache import CacheManager, EvictionPolicy
 from repro.switch.pipeline import DifanePipeline, PipelineStage
 from repro.switch.switch import DataPlaneSwitch
@@ -115,6 +123,14 @@ class DifaneSwitch(DataPlaneSwitch):
         self.install_latency_s = install_latency_s
         self.prefetch_fragments = prefetch_fragments
         self._redirect_station: Optional[ServiceStation] = None
+        #: Control session to the DIFANE controller; ``None`` until the
+        #: controller wires a control plane (see
+        #: :meth:`DifaneController.connect_control_plane`).  With a channel
+        #: attached, orphaned-partition packets degrade to a NOX-style
+        #: packet-in instead of being dropped.
+        self.control_channel = None
+        self._heartbeat_interval: Optional[float] = None
+        self._beat = 0
         # Statistics the experiments read.
         self.cache_hits = 0
         self.authority_hits = 0
@@ -125,6 +141,8 @@ class DifaneSwitch(DataPlaneSwitch):
         self.cache_installs_received = 0
         self.failovers = 0
         self.unmatched = 0
+        self.degraded_packets = 0
+        self.heartbeats_sent = 0
 
     # -- wiring ---------------------------------------------------------------
     def attach(self, network) -> None:
@@ -139,6 +157,48 @@ class DifaneSwitch(DataPlaneSwitch):
                 on_drop=self._redirect_overload,
                 name=f"{self.name}.redirect",
             )
+
+    # -- control plane (optional; wired by connect_control_plane) -----------------
+    def connect_control(self, channel) -> None:
+        """Attach this switch's control session to the DIFANE controller."""
+        self.control_channel = channel
+
+    def enable_heartbeats(self, interval_s: float) -> None:
+        """Start emitting periodic liveness beacons over the control channel.
+
+        Beats are fire-and-forget (never retransmitted): a lost or late
+        heartbeat is exactly the signal the controller's failure detector
+        integrates.  A dead switch (``alive = False``) skips beats but the
+        timer keeps ticking, so beats resume on repair.  Note the timer
+        keeps the event loop alive — run the simulation with ``until=``.
+        """
+        if interval_s <= 0:
+            raise ValueError(f"heartbeat interval must be positive, got {interval_s}")
+        self._heartbeat_interval = interval_s
+        self.network.scheduler.schedule(interval_s, self._emit_heartbeat)
+
+    def _emit_heartbeat(self) -> None:
+        if self._heartbeat_interval is None:
+            return
+        if self.alive and self.control_channel is not None:
+            self._beat += 1
+            self.heartbeats_sent += 1
+            self.control_channel.send_to_controller(
+                Heartbeat(switch=self.name, beat=self._beat,
+                          sent_at=self.network.scheduler.now),
+                reliable=False,
+            )
+        self.network.scheduler.schedule(self._heartbeat_interval, self._emit_heartbeat)
+
+    def receive_control(self, message: Message) -> None:
+        """Handle a controller-to-switch message (degraded path / installs)."""
+        if isinstance(message, PacketOut):
+            self._execute_actions(message.packet, message.actions)
+        elif isinstance(message, FlowMod) and message.rule is not None:
+            if message.command is FlowModCommand.ADD:
+                self.install_rule(message.rule)
+            elif message.command is FlowModCommand.DELETE:
+                self.uninstall_rule(message.rule)
 
     # -- rule installation (called by the controller / other switches) -----------
     def install_rule(self, rule: Rule) -> None:
@@ -251,6 +311,16 @@ class DifaneSwitch(DataPlaneSwitch):
                     self.failovers += 1
                     break
             else:
+                # Partition orphaned: primary and every replicated backup
+                # are unreachable.  Degrade to a NOX-style packet-in so the
+                # controller classifies the packet, instead of dropping.
+                if self.control_channel is not None:
+                    self.degraded_packets += 1
+                    packet.via_controller = True
+                    self.control_channel.send_to_controller(
+                        PacketIn(switch=self.name, packet=packet)
+                    )
+                    return
                 self.network.record_drop(packet, self.name, "authority unreachable")
                 return
         packet.encapsulate(destination)
@@ -317,7 +387,11 @@ class DifaneSwitch(DataPlaneSwitch):
         Forwarded packets are encapsulated to their destination so transit
         switches never reclassify — DIFANE classifies once, at the edge.
         """
-        for action in rule.actions:
+        self._execute_actions(packet, rule.actions)
+
+    def _execute_actions(self, packet: Packet, actions) -> None:
+        """Terminal-action execution shared by lookups and PacketOut."""
+        for action in actions:
             if isinstance(action, SetField):
                 self._apply_rewrite(packet, action)
             elif isinstance(action, Drop):

@@ -15,12 +15,13 @@ routing into a runnable simulation.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.flowspace.action import Encapsulate, Forward
 from repro.flowspace.fields import HeaderLayout
 from repro.flowspace.packet import Packet
 from repro.flowspace.rule import Match, Rule, RuleKind
+from repro.flowspace.table import RuleTable
 from repro.core.authority import DifaneSwitch
 from repro.core.partition import (
     Partition,
@@ -31,9 +32,111 @@ from repro.core.partition import (
 from repro.core.placement import choose_authority_switches
 from repro.net.simnet import SimNetwork
 from repro.net.topology import Topology
+from repro.openflow.channel import (
+    ChannelFaultModel,
+    ControlChannel,
+    DEFAULT_CONTROL_LATENCY_S,
+)
+from repro.openflow.messages import Heartbeat, Message, PacketIn, PacketOut
 from repro.switch.cache import EvictionPolicy
 
-__all__ = ["DifaneController", "DifaneNetwork"]
+__all__ = [
+    "DifaneController",
+    "DifaneNetwork",
+    "HeartbeatMonitor",
+    "PartitionInvariantError",
+]
+
+
+class PartitionInvariantError(AssertionError):
+    """Raised by :meth:`DifaneController.assert_all_partitions_owned`."""
+
+
+class HeartbeatMonitor:
+    """Controller-side failure detector driven by switch heartbeats.
+
+    An authority switch is declared dead once no heartbeat has arrived
+    for ``miss_threshold`` × ``interval_s`` seconds; detection latency is
+    therefore an *emergent* property of the beat period, the threshold,
+    the control-channel latency, and any channel faults — not a scripted
+    delay.  On detection the monitor invokes the controller's existing
+    :meth:`~DifaneController.handle_authority_failure` path; when beats
+    later resume (the switch was repaired, or the detection was a false
+    positive) the switch is reinstated as eligible for future placement.
+    """
+
+    def __init__(
+        self,
+        controller: "DifaneController",
+        interval_s: float,
+        miss_threshold: int = 3,
+        on_detect: Optional[Callable[[str], None]] = None,
+    ):
+        if miss_threshold < 1:
+            raise ValueError(f"miss_threshold must be >= 1, got {miss_threshold}")
+        self.controller = controller
+        self.interval_s = interval_s
+        self.miss_threshold = miss_threshold
+        self.on_detect = on_detect
+        self.last_seen: Dict[str, float] = {}
+        self.dead: set = set()
+        #: (detection time, switch) pairs, in detection order.
+        self.detections: List[Tuple[float, str]] = []
+        #: (recovery time, switch) pairs: beats resumed from a dead-marked switch.
+        self.recoveries: List[Tuple[float, str]] = []
+        #: Detections of switches whose behaviour was in fact alive.
+        self.false_positives = 0
+        self._started = False
+
+    def start(self) -> None:
+        """Begin monitoring every current authority switch from now."""
+        scheduler = self.controller.network.scheduler
+        now = scheduler.now
+        for name in self.controller.authority_switches:
+            self.last_seen[name] = now
+        self._started = True
+        scheduler.schedule(self.interval_s, self._check)
+
+    def observe(self, switch: str, when: float) -> None:
+        """Record a heartbeat from ``switch`` received at ``when``."""
+        if switch in self.dead:
+            self.dead.discard(switch)
+            self.recoveries.append((when, switch))
+            self.controller.reinstate_authority(switch)
+        self.last_seen[switch] = when
+
+    @property
+    def deadline_s(self) -> float:
+        """Silence beyond this marks a switch dead."""
+        return self.miss_threshold * self.interval_s
+
+    def _check(self) -> None:
+        scheduler = self.controller.network.scheduler
+        now = scheduler.now
+        for switch, seen in sorted(self.last_seen.items()):
+            if switch in self.dead:
+                continue
+            if now - seen <= self.deadline_s:
+                continue
+            self.dead.add(switch)
+            self.detections.append((now, switch))
+            behaviour = self.controller.network.maybe_node(switch)
+            if behaviour is not None and getattr(behaviour, "alive", True):
+                self.false_positives += 1
+            survivors = [
+                name for name in self.controller.authority_switches
+                if name != switch
+            ]
+            if switch in self.controller.authority_switches and survivors:
+                repointed = self.controller.handle_authority_failure(switch)
+                # Reconverged: give the caller its hook (e.g. invariant
+                # checks).  When nothing was repointed — the switch owned
+                # nothing, or no failover target was IGP-reachable — the
+                # network is in degraded mode until a repair and there is
+                # no new deployment state to validate.
+                if repointed and self.on_detect is not None:
+                    self.on_detect(switch)
+        scheduler.schedule(self.interval_s, self._check)
 
 
 @dataclass
@@ -72,10 +175,164 @@ class DifaneController:
         self.policy: List[Rule] = []
         self.result: Optional[PartitionResult] = None
         self._states: Dict[int, _PartitionState] = {}
+        # Optional robustness layer (see connect_control_plane).
+        self.channels: Dict[str, ControlChannel] = {}
+        self.monitor: Optional[HeartbeatMonitor] = None
+        self._policy_table: Optional[RuleTable] = None
         # Management statistics (experiment E9 reads these).
         self.control_messages = 0
         self.cache_entries_flushed = 0
         self.policy_updates = 0
+        self.degraded_packet_ins = 0
+
+    # -- robustness layer (opt-in; reliable fabric stays the default) --------------
+    def connect_control_plane(
+        self,
+        latency_s: float = DEFAULT_CONTROL_LATENCY_S,
+        fault_model: Optional[ChannelFaultModel] = None,
+        heartbeat_interval_s: Optional[float] = None,
+        miss_threshold: int = 3,
+        max_retries: Optional[int] = None,
+        on_detect: Optional[Callable[[str], None]] = None,
+    ) -> Dict[str, ControlChannel]:
+        """Wire an explicit switch ↔ controller control plane.
+
+        Creates one :class:`ControlChannel` per switch (sharing
+        ``fault_model``, so a chaos brownout throttles every session at
+        once), attaches it to the switch for the degraded packet-in
+        fallback, and — when ``heartbeat_interval_s`` is set — starts
+        heartbeat emission at every authority switch plus a
+        :class:`HeartbeatMonitor` that detects failures after
+        ``miss_threshold`` missed intervals.
+
+        Without this call nothing changes: rule distribution stays the
+        immediate, perfectly reliable configuration-time path.
+        """
+        for name in self.network.topology.switches():
+            switch = self._switch(name)
+            channel = ControlChannel(
+                self.network.scheduler,
+                name,
+                to_controller=self._receive_control,
+                to_switch=switch.receive_control,
+                latency_s=latency_s,
+                fault_model=fault_model,
+                max_retries=max_retries,
+            )
+            channel.on_lost = self._control_message_lost
+            switch.connect_control(channel)
+            self.channels[name] = channel
+        if heartbeat_interval_s is not None:
+            self.monitor = HeartbeatMonitor(
+                self, heartbeat_interval_s,
+                miss_threshold=miss_threshold, on_detect=on_detect,
+            )
+            for name in self.authority_switches:
+                self._switch(name).enable_heartbeats(heartbeat_interval_s)
+            self.monitor.start()
+        return self.channels
+
+    def _receive_control(self, message: Message) -> None:
+        """Dispatch one switch-to-controller message."""
+        if isinstance(message, Heartbeat):
+            if self.monitor is not None:
+                self.monitor.observe(message.switch, self.network.scheduler.now)
+        elif isinstance(message, PacketIn):
+            self._handle_degraded_packet_in(message)
+
+    def _handle_degraded_packet_in(self, message: PacketIn) -> None:
+        """Classify an orphaned-partition packet and send the verdict back.
+
+        The NOX-style escape hatch of paper §4.3's failure story: when a
+        partition has no reachable replica left, the ingress switch punts
+        to the controller, which classifies against the full policy and
+        returns a PacketOut.  Slow (a control round trip per packet) but
+        never silent — degraded, not broken.
+        """
+        self.degraded_packet_ins += 1
+        if self._policy_table is None:
+            self._policy_table = RuleTable(self.layout, self.policy)
+        packet = message.packet
+        winner = self._policy_table.lookup(packet)
+        if winner is None:
+            self.network.record_drop(packet, "controller", "no policy rule")
+            return
+        self.channels[message.switch].send_to_switch(
+            PacketOut(switch=message.switch, packet=packet, actions=winner.actions)
+        )
+
+    def _control_message_lost(self, direction: str, message: Message) -> None:
+        """A control message was permanently lost: account for its payload."""
+        if isinstance(message, PacketIn):
+            self.network.record_drop(
+                message.packet, message.switch, "control channel lost"
+            )
+
+    def reinstate_authority(self, name: str) -> bool:
+        """Make a repaired (or falsely-suspected) switch eligible again.
+
+        Partitions are not moved back proactively — :meth:`rebalance` or
+        the next failover will use the switch — but it rejoins the
+        candidate pool.  Returns True when the list actually changed.
+        """
+        if name in self.authority_switches:
+            return False
+        self.authority_switches.append(name)
+        return True
+
+    def assert_all_partitions_owned(self) -> int:
+        """Invariant: every partition is deployed on live authority switches.
+
+        Checks, for every partition: a non-empty owner list; every owner
+        registered as an authority switch, alive, and holding installed
+        fragments; and every ingress switch's partition rule pointing at
+        the current primary.  Raises :class:`PartitionInvariantError`
+        listing all violations; returns the number of partitions checked.
+
+        Run this after every reconvergence (failover handling, rebalance,
+        repair) — a clean pass means no redirected packet can black-hole
+        on a stale partition rule.
+        """
+        problems: List[str] = []
+        for pid, state in sorted(self._states.items()):
+            if not state.owners:
+                problems.append(f"partition {pid}: no owners")
+                continue
+            for owner in state.owners:
+                if owner not in self.authority_switches:
+                    problems.append(
+                        f"partition {pid}: owner {owner!r} is not an authority switch"
+                    )
+                behaviour = self.network.maybe_node(owner)
+                if behaviour is not None and not getattr(behaviour, "alive", True):
+                    problems.append(f"partition {pid}: owner {owner!r} is dead")
+                if state.partition.rules and not state.installed.get(owner):
+                    problems.append(
+                        f"partition {pid}: owner {owner!r} has no installed fragments"
+                    )
+            primary = state.owners[0]
+            for switch_name, rule in sorted(state.partition_rules.items()):
+                action = rule.actions.actions[0]
+                if action.destination != primary:
+                    problems.append(
+                        f"partition {pid}: {switch_name} partition rule points at "
+                        f"{action.destination!r}, primary is {primary!r}"
+                    )
+        if problems:
+            raise PartitionInvariantError(
+                f"{len(problems)} partition invariant violation(s): "
+                + "; ".join(problems)
+            )
+        return len(self._states)
+
+    def control_plane_counters(self) -> Dict[str, int]:
+        """Aggregate attempted/delivered/retry/duplicate/lost counters
+        across every control session (empty dict when no control plane)."""
+        totals: Dict[str, int] = {}
+        for channel in self.channels.values():
+            for key, value in channel.counters().items():
+                totals[key] = totals.get(key, 0) + value
+        return totals
 
     # -- initial distribution ----------------------------------------------------
     def install_policy(self, rules: Sequence[Rule]) -> PartitionResult:
@@ -85,6 +342,7 @@ class DifaneController:
         immediately rather than through latency-modelled messages.
         """
         self.policy = list(rules)
+        self._policy_table = None
         num_partitions = len(self.authority_switches) * self.partitions_per_authority
         result = partition_policy(
             self.policy,
@@ -141,6 +399,7 @@ class DifaneController:
         if self.result is None:
             raise RuntimeError("install_policy must run before insert_rule")
         self.policy_updates += 1
+        self._policy_table = None  # degraded-path classifier is stale
         self._insert_by_priority(rule)
         affected = 0
         for state in self._states.values():
@@ -169,6 +428,7 @@ class DifaneController:
         if self.result is None:
             raise RuntimeError("install_policy must run before delete_rule")
         self.policy_updates += 1
+        self._policy_table = None  # degraded-path classifier is stale
         try:
             self.policy.remove(rule)
         except ValueError:
@@ -248,6 +508,14 @@ class DifaneController:
         none exists the partition's fragments are re-installed on the
         least-loaded surviving authority switch.  Every ingress switch's
         partition rule for those partitions is re-pointed.
+
+        The controller participates in the IGP, so it knows instantly
+        which switches still have links: candidates with none (e.g. a
+        backup that died moments ago, before its own heartbeat deadline)
+        are never promoted.  A partition with no IGP-reachable candidate
+        at all is left untouched — the data plane degrades to
+        controller packet-in until a repair — rather than re-pointed at
+        a switch known to be unreachable.
         """
         if failed not in self.authority_switches:
             raise ValueError(f"{failed!r} is not an authority switch")
@@ -261,8 +529,10 @@ class DifaneController:
                 state.installed.pop(failed, None)
             else:
                 continue
-            if not state.owners:
+            if not any(self._igp_reachable(owner) for owner in state.owners):
                 replacement = self._least_loaded_authority()
+                if replacement is None:
+                    continue  # nothing reachable to fail over to
                 fragments = [
                     rule.derive(kind=RuleKind.AUTHORITY)
                     for rule in state.partition.rules
@@ -273,6 +543,11 @@ class DifaneController:
                     self.control_messages += 1
                 state.owners = [replacement]
                 state.installed[replacement] = fragments
+            elif not self._igp_reachable(state.owners[0]):
+                # Rotate the first reachable backup into the primary slot.
+                best = next(o for o in state.owners if self._igp_reachable(o))
+                state.owners.remove(best)
+                state.owners.insert(0, best)
             primary = state.owners[0]
             for switch_name, partition_rule in state.partition_rules.items():
                 switch = self._switch(switch_name)
@@ -289,8 +564,19 @@ class DifaneController:
             repointed += 1
         return repointed
 
-    def _least_loaded_authority(self) -> str:
-        load = {name: 0 for name in self.authority_switches}
+    def _igp_reachable(self, name: str) -> bool:
+        """Link-state view: a switch with no remaining links is known
+        unreachable immediately, without waiting on a heartbeat deadline."""
+        return bool(self.network.topology.links_of(name))
+
+    def _least_loaded_authority(self) -> Optional[str]:
+        """Least-loaded IGP-reachable authority switch, or ``None``."""
+        load = {
+            name: 0 for name in self.authority_switches
+            if self._igp_reachable(name)
+        }
+        if not load:
+            return None
         for state in self._states.values():
             for owner in state.owners:
                 if owner in load:
@@ -492,13 +778,16 @@ class DifaneNetwork:
         forwarding_delay_s: float = 0.0,
         prefetch_fragments: int = 1,
         engine=None,
+        loss_seed: int = 0,
     ) -> "DifaneNetwork":
         """Construct switches, controller and partitions over ``topology``.
 
         ``engine`` selects every switch's match-engine backend (see
         :mod:`repro.flowspace.engine`); ``None`` uses the process default.
+        ``loss_seed`` seeds per-link loss/jitter draws (only consulted on
+        links whose spec enables faults).
         """
-        network = SimNetwork(topology)
+        network = SimNetwork(topology, loss_seed=loss_seed)
         for name in topology.switches():
             network.register_node(
                 DifaneSwitch(

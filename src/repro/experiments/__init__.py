@@ -15,6 +15,8 @@ EXPERIMENTS.md for the paper-claim ↔ measured-result index.
 | ``caching``     | Fig. E7   | wildcard caching ≫ microflow caching |
 | ``stretch``     | Fig. E8   | modest, placement-dependent stretch |
 | ``dynamics``    | Table E9  | cost of policy churn / mobility / failover |
+| ``failover``    | §4.3      | transient loss bounded by detection delay |
+| ``chaos``       | §4.3 (C1) | invariants + attribution under composed faults |
 """
 
 from repro.experiments.common import CALIBRATION, ExperimentResult

@@ -1,0 +1,259 @@
+"""C1 — chaos soak: steady traffic under a randomized fault schedule.
+
+The headline robustness experiment: a campus fabric carries steady
+traffic while a seeded :class:`~repro.net.chaos.ChaosSchedule` kills and
+repairs switches (including an authority switch), flaps links, spikes
+per-link loss, and browns out the control plane.  Nothing is scripted on
+the recovery side — failure detection emerges from heartbeats, failover
+from replicated partition rules, degraded service from the NOX-style
+packet-in fallback, and message delivery from retransmission + dedup.
+
+What the run must demonstrate (the acceptance criteria of the chaos
+layer):
+
+* **zero invariant violations** — after every controller reconvergence
+  (and at the end) every partition is owned by live authority switches
+  and every ingress partition rule points at the current primary;
+* **zero silent drops** — every lost packet is attributed to link loss,
+  a routing black-hole, policy intent, or the degraded path; and every
+  injected packet terminates (delivered or attributed) by the end of the
+  drain window.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import Counter
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.series import Series
+from repro.analysis.timeline import rate_timeline
+from repro.core.controller import DifaneNetwork, PartitionInvariantError
+from repro.experiments.common import ExperimentResult
+from repro.flowspace.fields import FIVE_TUPLE_LAYOUT
+from repro.net.chaos import ChaosSchedule, ChaosSpec
+from repro.net.failures import FailureInjector
+from repro.net.topology import Topology, TopologyBuilder
+from repro.openflow.channel import ChannelFaultModel
+from repro.workloads.policies import routing_policy_for_topology
+from repro.workloads.traffic import host_pair_packets
+
+__all__ = ["run_chaos_soak", "attribute_drops"]
+
+LAYOUT = FIVE_TUPLE_LAYOUT
+
+#: Drop-reason prefixes → attribution buckets.  Anything that lands in
+#: no bucket is *unattributed* — the soak's target for that is zero.
+_ATTRIBUTION = [
+    ("link loss", "link-loss"),
+    ("unreachable", "black-hole"),
+    ("no link", "black-hole"),
+    ("authority unreachable", "black-hole"),
+    ("authority miss", "black-hole"),
+    ("policy drop", "policy-intent"),
+    ("no policy rule", "policy-intent"),
+    ("no matching rule", "policy-intent"),
+    ("no terminal action", "policy-intent"),
+    ("control channel lost", "control-lost"),
+    ("authority overloaded", "overload"),
+    ("switch overloaded", "overload"),
+]
+
+
+def attribute_drops(records) -> Counter:
+    """Bucket every drop record by failure cause (see ``_ATTRIBUTION``)."""
+    buckets: Counter = Counter()
+    for record in records:
+        if record.delivered:
+            continue
+        reason = record.drop_reason or ""
+        for prefix, bucket in _ATTRIBUTION:
+            if reason.startswith(prefix):
+                buckets[bucket] += 1
+                break
+        else:
+            buckets["unattributed"] += 1
+    return buckets
+
+
+def _campus_with_loss(loss: float) -> Topology:
+    """A small dual-homed campus whose switch–switch links are lossy."""
+    topo = TopologyBuilder.three_tier_campus(
+        core_count=2, distribution_count=2,
+        access_per_distribution=2, hosts_per_access=2,
+    )
+    if loss > 0:
+        graph = topo.graph
+        for a, b, data in graph.edges(data=True):
+            roles = (graph.nodes[a].get("role"), graph.nodes[b].get("role"))
+            if roles == ("switch", "switch"):
+                data["spec"] = dataclasses.replace(
+                    data["spec"], loss_probability=loss
+                )
+    return topo
+
+
+def run_chaos_soak(
+    rate: float = 4_000.0,
+    duration: float = 1.0,
+    seed: int = 7,
+    loss: float = 0.01,
+    heartbeat_interval_s: float = 0.02,
+    miss_threshold: int = 3,
+    control_latency_s: float = 2e-3,
+    base_channel_drop: float = 0.05,
+    spec: Optional[ChaosSpec] = None,
+    bin_width_s: float = 0.05,
+) -> ExperimentResult:
+    """Run the soak; see the module docstring for what it asserts."""
+    topo = _campus_with_loss(loss)
+    rules, host_ips = routing_policy_for_topology(topo, LAYOUT, seed=seed)
+    authorities = ["dist0", "dist1"]
+    dn = DifaneNetwork.build(
+        topo, rules, LAYOUT,
+        authority_switches=authorities,
+        replication=2,
+        partitions_per_authority=2,
+        cache_capacity=128,
+        redirect_rate=None,
+        loss_seed=seed,
+    )
+    network = dn.network
+    controller = dn.controller
+
+    # Control plane: shared fault model (brownouts throttle every session),
+    # unbounded retransmission (no control message is ever abandoned),
+    # heartbeat failure detection, invariant check on every reconvergence.
+    fault_model = ChannelFaultModel(drop_probability=base_channel_drop, seed=seed)
+    violations: List[Tuple[float, str]] = []
+
+    def check_invariants(_switch: Optional[str] = None) -> None:
+        try:
+            controller.assert_all_partitions_owned()
+        except PartitionInvariantError as error:
+            violations.append((network.scheduler.now, str(error)))
+
+    controller.connect_control_plane(
+        latency_s=control_latency_s,
+        fault_model=fault_model,
+        heartbeat_interval_s=heartbeat_interval_s,
+        miss_threshold=miss_threshold,
+        max_retries=None,
+        on_detect=check_invariants,
+    )
+
+    # The chaos schedule: kills draw from host-free switches so no traffic
+    # source is ever stranded; one authority dies (and comes back) too.
+    injector = FailureInjector(network)
+    spec = spec or ChaosSpec(seed=seed, duration_s=duration)
+    hostless = [
+        name for name in topo.switches()
+        if name not in authorities
+        and not any(
+            topo.graph.nodes[n].get("role") == "host"
+            for n in topo.graph.neighbors(name)
+        )
+    ]
+    schedule = ChaosSchedule.randomized(
+        network, injector, spec,
+        kill_candidates=hostless,
+        authority_candidates=authorities,
+        fault_model=fault_model,
+    )
+
+    # Steady traffic: random host pairs, one packet per microflow.
+    count = int(rate * duration)
+    for timed in host_pair_packets(
+        topo, host_ips, LAYOUT, count=count, rate=rate, seed=seed,
+        deterministic_arrivals=True,
+    ):
+        dn.send_at(timed.time, timed.source_host, timed.packet)
+
+    # Drain: everything the schedule breaks resolves by 0.9 × duration;
+    # leave room for the last detections, retransmissions and repairs.
+    drain = max(0.3, (miss_threshold + 2) * heartbeat_interval_s + 0.1)
+    dn.run(until=duration + drain)
+    check_invariants()
+
+    delivered = network.delivered()
+    dropped = network.dropped()
+    attribution = attribute_drops(dropped)
+    unaccounted = count - len(network.deliveries)
+
+    detection_latencies = _detection_latencies(injector, controller)
+    channel_totals = controller.control_plane_counters()
+    degraded = sum(s.degraded_packets for s in dn.switches())
+    failovers = sum(s.failovers for s in dn.switches())
+
+    series: List[Series] = [
+        rate_timeline(network.deliveries, bin_width_s, label="delivered/s"),
+        rate_timeline(network.deliveries, bin_width_s,
+                      delivered_only=False, label="offered/s"),
+    ]
+    table_rows = [
+        ["delivered", len(delivered)],
+        ["dropped", len(dropped)],
+    ]
+    for bucket in sorted(attribution):
+        table_rows.append([f"dropped: {bucket}", attribution[bucket]])
+    table_rows.extend([
+        ["degraded packet-ins", degraded],
+        ["data-plane failovers", failovers],
+        ["invariant violations", len(violations)],
+        ["unaccounted packets", unaccounted],
+    ])
+
+    monitor = controller.monitor
+    notes: Dict[str, object] = {
+        "seed": seed,
+        "rate": rate,
+        "duration": duration,
+        "loss": loss,
+        "heartbeat_interval_s": heartbeat_interval_s,
+        "miss_threshold": miss_threshold,
+        "delivered": len(delivered),
+        "dropped": len(dropped),
+        "drop_attribution": dict(sorted(attribution.items())),
+        "unattributed_drops": int(attribution.get("unattributed", 0)),
+        "unaccounted_packets": int(unaccounted),
+        "invariant_violations": len(violations),
+        "detection_latencies_s": detection_latencies,
+        "detections": len(monitor.detections),
+        "false_positives": monitor.false_positives,
+        "recoveries": len(monitor.recoveries),
+        "degraded_packets": degraded,
+        "failovers": failovers,
+        "control_counters": channel_totals,
+        "chaos_events": len(schedule.planned),
+        "_violations": violations,
+        "_planned": list(schedule.planned),
+        "_applied": list(injector.events),
+    }
+
+    return ExperimentResult(
+        name="C1-chaos-soak",
+        title="Chaos soak: lossy links, kills, flaps and brownouts under load",
+        series=series,
+        table_headers=["metric", "value"],
+        table_rows=table_rows,
+        notes=notes,
+    )
+
+
+def _detection_latencies(
+    injector: FailureInjector, controller
+) -> List[float]:
+    """Kill-to-detection delay for every detected authority failure."""
+    monitor = controller.monitor
+    if monitor is None:
+        return []
+    kills: Dict[str, List[float]] = {}
+    for when, kind, target in injector.events:
+        if kind == "switch-down":
+            kills.setdefault(target, []).append(when)
+    latencies: List[float] = []
+    for detected_at, switch in monitor.detections:
+        candidates = [t for t in kills.get(switch, []) if t <= detected_at]
+        if candidates:
+            latencies.append(detected_at - max(candidates))
+    return latencies

@@ -20,8 +20,11 @@ from repro.net.topology import Topology, TopologyBuilder
 from repro.net.routing import RoutingTable, compute_routes
 from repro.net.simnet import SimNetwork, DeliveryRecord
 from repro.net.failures import FailureInjector
+from repro.net.chaos import ChaosSchedule, ChaosSpec
 
 __all__ = [
+    "ChaosSchedule",
+    "ChaosSpec",
     "EventScheduler",
     "ServiceStation",
     "Link",

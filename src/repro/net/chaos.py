@@ -1,0 +1,209 @@
+"""Chaos orchestration: seeded schedules of composed failures.
+
+A :class:`ChaosSchedule` turns a :class:`ChaosSpec` into a deterministic
+timeline of fault events against a live simulation:
+
+* **switch kills/repairs** via the :class:`~repro.net.failures.FailureInjector`
+  (idempotent, so randomized schedules never have to coordinate);
+* **link flaps** — a link goes down and comes back up;
+* **loss bursts** — a link's live drop probability spikes for a window
+  (see :class:`~repro.net.links.Link`'s mutable fault parameters);
+* **control-plane brownouts** — every control session's shared
+  :class:`~repro.openflow.channel.ChannelFaultModel` drop probability
+  spikes for a window.
+
+Everything is derived from one seed, so a chaos soak is reproducible:
+same seed, same kills at the same instants, same losses.  The schedule
+only *plans and applies* events; detection and recovery are left to the
+heartbeat monitor and the data plane — that separation is the point of
+the robustness experiments.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.net.failures import FailureInjector
+from repro.net.simnet import SimNetwork
+from repro.openflow.channel import ChannelFaultModel
+
+__all__ = ["ChaosSpec", "ChaosSchedule"]
+
+
+@dataclass(frozen=True)
+class ChaosSpec:
+    """Knobs of a randomized chaos schedule (all counts are events)."""
+
+    seed: int = 0
+    duration_s: float = 1.0
+    #: Kill/repair cycles of ordinary (non-authority) switches.
+    switch_kills: int = 1
+    #: Kill/repair cycles targeting authority switches (exercises
+    #: heartbeat detection, failover and reinstatement).
+    authority_kills: int = 1
+    link_flaps: int = 2
+    loss_bursts: int = 2
+    burst_loss_probability: float = 0.3
+    brownouts: int = 1
+    brownout_drop_probability: float = 0.5
+    #: Outage windows are drawn uniformly from this range (seconds).
+    min_outage_s: float = 0.05
+    max_outage_s: float = 0.15
+
+
+class ChaosSchedule:
+    """Compose and apply fault events against a running simulation.
+
+    The primitives (:meth:`kill_switch`, :meth:`flap_link`,
+    :meth:`loss_burst`, :meth:`brownout`) register events immediately on
+    the network's scheduler and can be called directly for hand-built
+    scenarios; :meth:`randomized` draws a full schedule from a
+    :class:`ChaosSpec`.
+    """
+
+    def __init__(
+        self,
+        network: SimNetwork,
+        injector: FailureInjector,
+        fault_model: Optional[ChannelFaultModel] = None,
+    ):
+        self.network = network
+        self.injector = injector
+        self.fault_model = fault_model
+        #: Planned events as ``(time, kind, target)``, in registration order.
+        self.planned: List[Tuple[float, str, str]] = []
+
+    # -- primitives -----------------------------------------------------------
+    def kill_switch(self, at: float, name: str, repair_at: Optional[float] = None) -> None:
+        """Kill ``name`` at ``at``; optionally repair it at ``repair_at``."""
+        self.injector.fail_switch_at(at, name)
+        self.planned.append((at, "kill-switch", name))
+        if repair_at is not None:
+            self.injector.restore_switch_at(repair_at, name)
+            self.planned.append((repair_at, "repair-switch", name))
+
+    def flap_link(self, at: float, a: str, b: str, up_at: float) -> None:
+        """Down the ``a``–``b`` link at ``at`` and restore it at ``up_at``."""
+        self.injector.fail_link_at(at, a, b)
+        self.injector.restore_link_at(up_at, a, b)
+        self.planned.append((at, "link-flap-down", f"{a}-{b}"))
+        self.planned.append((up_at, "link-flap-up", f"{a}-{b}"))
+
+    def loss_burst(
+        self, at: float, a: str, b: str, loss_probability: float, until: float
+    ) -> None:
+        """Spike the ``a``–``b`` loss probability for a window."""
+        scheduler = self.network.scheduler
+        scheduler.schedule_at(at, self._set_loss, a, b, loss_probability)
+        scheduler.schedule_at(until, self._restore_loss, a, b)
+        self.planned.append((at, "loss-burst-start", f"{a}-{b}"))
+        self.planned.append((until, "loss-burst-end", f"{a}-{b}"))
+
+    def brownout(self, at: float, drop_probability: float, until: float) -> None:
+        """Spike the control plane's drop probability for a window."""
+        if self.fault_model is None:
+            raise ValueError("brownout needs a shared ChannelFaultModel")
+        scheduler = self.network.scheduler
+        scheduler.schedule_at(at, self._set_brownout, drop_probability)
+        scheduler.schedule_at(until, self._end_brownout)
+        self.planned.append((at, "brownout-start", f"p={drop_probability:g}"))
+        self.planned.append((until, "brownout-end", ""))
+
+    # -- randomized composition -------------------------------------------------
+    @classmethod
+    def randomized(
+        cls,
+        network: SimNetwork,
+        injector: FailureInjector,
+        spec: ChaosSpec,
+        kill_candidates: Sequence[str],
+        authority_candidates: Sequence[str] = (),
+        flap_candidates: Optional[Sequence[Tuple[str, str]]] = None,
+        fault_model: Optional[ChannelFaultModel] = None,
+    ) -> "ChaosSchedule":
+        """Draw a full schedule from ``spec`` (deterministic in its seed).
+
+        ``kill_candidates`` should be switches whose death cannot strand
+        a traffic source (no attached hosts); ``authority_candidates``
+        are killed one at a time (windows may still overlap other
+        faults).  ``flap_candidates`` defaults to every switch–switch
+        link in the topology.
+        """
+        schedule = cls(network, injector, fault_model=fault_model)
+        rng = random.Random(f"chaos:{spec.seed}")
+        if flap_candidates is None:
+            flap_candidates = schedule._switch_links()
+
+        def window() -> Tuple[float, float]:
+            length = rng.uniform(spec.min_outage_s, spec.max_outage_s)
+            start = rng.uniform(0.1 * spec.duration_s,
+                                max(0.1 * spec.duration_s,
+                                    0.9 * spec.duration_s - length))
+            return start, start + length
+
+        for name in _sample(rng, list(kill_candidates), spec.switch_kills):
+            start, end = window()
+            schedule.kill_switch(start, name, repair_at=end)
+        for name in _sample(rng, list(authority_candidates), spec.authority_kills):
+            start, end = window()
+            schedule.kill_switch(start, name, repair_at=end)
+        for _ in range(spec.link_flaps):
+            if not flap_candidates:
+                break
+            a, b = rng.choice(list(flap_candidates))
+            start, end = window()
+            schedule.flap_link(start, a, b, end)
+        for _ in range(spec.loss_bursts):
+            if not flap_candidates:
+                break
+            a, b = rng.choice(list(flap_candidates))
+            start, end = window()
+            schedule.loss_burst(start, a, b, spec.burst_loss_probability, end)
+        if fault_model is not None:
+            for _ in range(spec.brownouts):
+                start, end = window()
+                schedule.brownout(start, spec.brownout_drop_probability, end)
+        schedule.planned.sort(key=lambda event: event[0])
+        return schedule
+
+    # -- callbacks --------------------------------------------------------------
+    def _set_loss(self, a: str, b: str, probability: float) -> None:
+        try:
+            self.network.set_link_faults(a, b, loss_probability=probability)
+        except KeyError:
+            pass  # link is down right now; the burst dissolves into the outage
+
+    def _restore_loss(self, a: str, b: str) -> None:
+        try:
+            spec = self.network.topology.link_spec(a, b)
+            self.network.set_link_faults(a, b, loss_probability=spec.loss_probability)
+        except KeyError:
+            pass
+
+    def _set_brownout(self, probability: float) -> None:
+        self._brownout_base = self.fault_model.drop_probability
+        self.fault_model.drop_probability = probability
+
+    def _end_brownout(self) -> None:
+        self.fault_model.drop_probability = getattr(self, "_brownout_base", 0.0)
+
+    def _switch_links(self) -> List[Tuple[str, str]]:
+        """Every switch–switch link (host access links stay reliable)."""
+        graph = self.network.topology.graph
+        return [
+            (a, b) for a, b in graph.edges
+            if graph.nodes[a].get("role") == "switch"
+            and graph.nodes[b].get("role") == "switch"
+        ]
+
+    def __repr__(self) -> str:
+        return f"<ChaosSchedule {len(self.planned)} planned events>"
+
+
+def _sample(rng: random.Random, population: List[str], count: int) -> List[str]:
+    """Up to ``count`` distinct draws, stable under short populations."""
+    if count <= 0 or not population:
+        return []
+    return rng.sample(population, min(count, len(population)))

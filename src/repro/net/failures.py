@@ -9,7 +9,14 @@ separately).
 
 Switch failure = all of the switch's links go down; packets later
 addressed to it are dropped by routing, which is what triggers DIFANE's
-data-plane failover to backup authority switches.
+data-plane failover to backup authority switches.  The switch behaviour
+object is also marked ``alive = False`` so it stops emitting heartbeats
+— failure *detection* is then an emergent property of the heartbeat
+monitor, not a scripted callback.
+
+All operations are idempotent: failing an already-failed switch or link
+(or restoring a live one) is a no-op, so a randomized chaos schedule can
+compose kills and repairs without coordinating.
 """
 
 from __future__ import annotations
@@ -28,48 +35,83 @@ class FailureInjector:
         self.network = network
         #: Links downed per failed switch, for repair.
         self._switch_links: Dict[str, List[Tuple[str, str, object]]] = {}
+        #: Specs of individually failed links, for spec-preserving repair.
+        self._link_specs: Dict[Tuple[str, str], object] = {}
         self.events: List[Tuple[float, str, str]] = []
 
     # -- immediate operations ------------------------------------------------
-    def fail_link(self, a: str, b: str) -> None:
-        """Take the ``a``–``b`` link down now and reconverge routing."""
-        self.network.topology.remove_link(a, b)
+    def fail_link(self, a: str, b: str) -> bool:
+        """Take the ``a``–``b`` link down now and reconverge routing.
+
+        Returns False (without touching anything) when the link is
+        already down.
+        """
+        topology = self.network.topology
+        if not topology.has_link(a, b):
+            return False
+        self._link_specs[self._key(a, b)] = topology.link_spec(a, b)
+        topology.remove_link(a, b)
         self.network.rebuild_routes()
         self.events.append((self.network.scheduler.now, "link-down", f"{a}-{b}"))
+        return True
 
-    def restore_link(self, a: str, b: str, spec=None) -> None:
-        """Bring a link back and reconverge."""
-        self.network.topology.add_link(a, b, spec)
+    def restore_link(self, a: str, b: str, spec=None) -> bool:
+        """Bring a link back and reconverge; no-op when already up.
+
+        ``spec`` defaults to whatever the link had when this injector
+        took it down.
+        """
+        topology = self.network.topology
+        if topology.has_link(a, b):
+            return False
+        if spec is None:
+            spec = self._link_specs.get(self._key(a, b))
+        topology.add_link(a, b, spec)
         self.network.rebuild_routes()
         self.events.append((self.network.scheduler.now, "link-up", f"{a}-{b}"))
+        return True
 
     def fail_switch(self, name: str) -> int:
-        """Down every link of ``name``; returns the number of links cut."""
-        graph = self.network.topology.graph
-        neighbors = list(graph.neighbors(name))
-        downed = []
-        for neighbor in neighbors:
-            spec = graph.edges[name, neighbor]["spec"]
-            downed.append((name, neighbor, spec))
-            graph.remove_edge(name, neighbor)
+        """Down every link of ``name``; returns the number of links cut.
+
+        Idempotent: a switch that is already failed stays failed and 0
+        is returned.
+        """
+        if name in self._switch_links:
+            return 0
+        topology = self.network.topology
+        downed = topology.links_of(name)
+        for a, b, _ in downed:
+            topology.remove_link(a, b)
         self._switch_links[name] = downed
+        self._set_alive(name, False)
         self.network.rebuild_routes()
         self.events.append((self.network.scheduler.now, "switch-down", name))
         return len(downed)
 
     def restore_switch(self, name: str) -> int:
-        """Re-attach a previously failed switch's links."""
+        """Re-attach a previously failed switch's links (no-op when live)."""
         downed = self._switch_links.pop(name, [])
         for a, b, spec in downed:
-            self.network.topology.graph.add_edge(a, b, spec=spec)
+            if not self.network.topology.has_link(a, b):
+                self.network.topology.add_link(a, b, spec)
+        self._set_alive(name, True)
         self.network.rebuild_routes()
         self.events.append((self.network.scheduler.now, "switch-up", name))
         return len(downed)
+
+    def failed_switches(self) -> List[str]:
+        """Switches currently held down by this injector."""
+        return sorted(self._switch_links)
 
     # -- scheduled operations ----------------------------------------------------
     def fail_link_at(self, time: float, a: str, b: str) -> None:
         """Schedule a link failure at absolute simulation ``time``."""
         self.network.scheduler.schedule_at(time, self.fail_link, a, b)
+
+    def restore_link_at(self, time: float, a: str, b: str) -> None:
+        """Schedule a link repair at absolute simulation ``time``."""
+        self.network.scheduler.schedule_at(time, self.restore_link, a, b)
 
     def fail_switch_at(self, time: float, name: str) -> None:
         """Schedule a switch failure at absolute simulation ``time``."""
@@ -78,3 +120,13 @@ class FailureInjector:
     def restore_switch_at(self, time: float, name: str) -> None:
         """Schedule a switch repair at absolute simulation ``time``."""
         self.network.scheduler.schedule_at(time, self.restore_switch, name)
+
+    # -- helpers ---------------------------------------------------------------------
+    @staticmethod
+    def _key(a: str, b: str) -> Tuple[str, str]:
+        return (a, b) if a <= b else (b, a)
+
+    def _set_alive(self, name: str, alive: bool) -> None:
+        behaviour = self.network.maybe_node(name)
+        if behaviour is not None and hasattr(behaviour, "alive"):
+            behaviour.alive = alive

@@ -4,12 +4,23 @@ A :class:`Link` carries packets between two named nodes with a delay of
 ``propagation + size / bandwidth`` seconds.  Links are unidirectional at
 the object level; topologies create one per direction.  Per-link counters
 feed the utilization analysis in the stretch and throughput experiments.
+
+Fault model
+-----------
+A link may be *lossy* (``loss_probability``) and *jittery*
+(``jitter_s``, uniform extra latency).  Both default to zero, in which
+case the link draws no random numbers and behaves exactly like the
+reliable fabric the original experiments assume.  Randomness comes from
+a per-link RNG seeded from the network seed and the link's endpoints, so
+two runs with the same seed lose exactly the same packets regardless of
+event interleaving on other links.
 """
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, Optional
 
 from repro.net.events import EventScheduler
 
@@ -27,13 +38,19 @@ class LinkSpec:
         the campus builder uses shorter values).
     bandwidth_bps:
         Capacity in bits per second (default 1 Gb/s).
+    loss_probability:
+        Independent per-packet drop probability (default 0 — lossless).
+    jitter_s:
+        Maximum uniform extra latency per packet (default 0 — no jitter).
     """
 
     propagation_s: float = 50e-6
     bandwidth_bps: float = 1e9
+    loss_probability: float = 0.0
+    jitter_s: float = 0.0
 
     def transfer_delay(self, size_bytes: int) -> float:
-        """Total latency for one packet of ``size_bytes``."""
+        """Total latency for one packet of ``size_bytes`` (jitter excluded)."""
         return self.propagation_s + (size_bytes * 8.0) / self.bandwidth_bps
 
 
@@ -41,7 +58,8 @@ class Link:
     """A unidirectional link delivering packets after the spec's delay."""
 
     __slots__ = ("source", "destination", "spec", "scheduler", "deliver",
-                 "packets_carried", "bytes_carried")
+                 "on_loss", "loss_probability", "jitter_s", "_rng",
+                 "packets_carried", "bytes_carried", "packets_lost")
 
     def __init__(
         self,
@@ -50,6 +68,8 @@ class Link:
         spec: LinkSpec,
         scheduler: EventScheduler,
         deliver: Callable,
+        on_loss: Optional[Callable] = None,
+        seed: int = 0,
     ):
         self.source = source
         self.destination = destination
@@ -57,14 +77,31 @@ class Link:
         self.scheduler = scheduler
         #: Callback invoked as ``deliver(destination, packet)`` on arrival.
         self.deliver = deliver
+        #: Callback invoked as ``on_loss(link, packet)`` when loss eats a packet.
+        self.on_loss = on_loss
+        #: Live fault parameters; start from the spec but stay mutable so a
+        #: chaos schedule can flap loss on an existing link mid-run.
+        self.loss_probability = spec.loss_probability
+        self.jitter_s = spec.jitter_s
+        # String-seeded Random uses sha512 of the seed, so the stream is
+        # stable across processes (unlike hash(), which is salted).
+        self._rng = random.Random(f"{seed}:{source}->{destination}")
         self.packets_carried = 0
         self.bytes_carried = 0
+        self.packets_lost = 0
 
     def send(self, packet) -> None:
         """Start transmitting ``packet``; it arrives after the link delay."""
         self.packets_carried += 1
         self.bytes_carried += packet.size_bytes
+        if self.loss_probability > 0.0 and self._rng.random() < self.loss_probability:
+            self.packets_lost += 1
+            if self.on_loss is not None:
+                self.on_loss(self, packet)
+            return
         delay = self.spec.transfer_delay(packet.size_bytes)
+        if self.jitter_s > 0.0:
+            delay += self._rng.uniform(0.0, self.jitter_s)
         self.scheduler.schedule(delay, self.deliver, self.destination, packet)
 
     def __repr__(self) -> str:

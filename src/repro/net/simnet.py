@@ -57,10 +57,17 @@ class DeliveryRecord:
 class SimNetwork:
     """Bind a topology, its links, node behaviours and an event scheduler."""
 
-    def __init__(self, topology: Topology, scheduler: Optional[EventScheduler] = None):
+    def __init__(
+        self,
+        topology: Topology,
+        scheduler: Optional[EventScheduler] = None,
+        loss_seed: int = 0,
+    ):
         self.topology = topology
         self.scheduler = scheduler or EventScheduler()
         self.routes: RoutingTable = compute_routes(topology)
+        #: Seed mixed into every link's private loss/jitter RNG.
+        self.loss_seed = loss_seed
         self._nodes: Dict[str, object] = {}
         self._links: Dict[Tuple[str, str], Link] = {}
         self.deliveries: List[DeliveryRecord] = []
@@ -68,11 +75,17 @@ class SimNetwork:
         self._build_links()
 
     # -- wiring ---------------------------------------------------------------
+    def _make_link(self, a: str, b: str, spec) -> Link:
+        return Link(
+            a, b, spec, self.scheduler, self._arrive,
+            on_loss=self._link_loss, seed=self.loss_seed,
+        )
+
     def _build_links(self) -> None:
         for a, b, data in self.topology.graph.edges(data=True):
             spec = data["spec"]
-            self._links[(a, b)] = Link(a, b, spec, self.scheduler, self._arrive)
-            self._links[(b, a)] = Link(b, a, spec, self.scheduler, self._arrive)
+            self._links[(a, b)] = self._make_link(a, b, spec)
+            self._links[(b, a)] = self._make_link(b, a, spec)
 
     def register_node(self, node) -> None:
         """Attach a behaviour object for a switch node.
@@ -91,6 +104,10 @@ class SimNetwork:
         """The behaviour object registered for ``name``."""
         return self._nodes[name]
 
+    def maybe_node(self, name: str):
+        """The behaviour object for ``name``, or ``None`` when unregistered."""
+        return self._nodes.get(name)
+
     def rebuild_routes(self) -> None:
         """Recompute routing after a topology change (link-state convergence).
 
@@ -105,9 +122,7 @@ class SimNetwork:
             current.add((b, a))
             for pair in ((a, b), (b, a)):
                 if pair not in self._links:
-                    self._links[pair] = Link(
-                        pair[0], pair[1], data["spec"], self.scheduler, self._arrive
-                    )
+                    self._links[pair] = self._make_link(pair[0], pair[1], data["spec"])
         for pair in [p for p in self._links if p not in current]:
             del self._links[pair]
         self.routes = compute_routes(self.topology)
@@ -170,6 +185,32 @@ class SimNetwork:
             self.record_drop(packet, at_node, f"unreachable {destination}")
             return
         self.transmit(at_node, hop, packet)
+
+    def _link_loss(self, link: Link, packet: Packet) -> None:
+        """A lossy link ate ``packet``: attribute it distinctly from routing
+        black-holes so timelines can separate loss from unreachability."""
+        self.record_drop(
+            packet, link.source, f"link loss {link.source}->{link.destination}"
+        )
+
+    def set_link_faults(
+        self,
+        a: str,
+        b: str,
+        loss_probability: Optional[float] = None,
+        jitter_s: Optional[float] = None,
+    ) -> None:
+        """Override the live loss/jitter of both directions of ``a``–``b``.
+
+        Used by chaos schedules for loss bursts; ``None`` leaves a
+        parameter unchanged.  Raises ``KeyError`` when the link is down.
+        """
+        for pair in ((a, b), (b, a)):
+            link = self._links[pair]
+            if loss_probability is not None:
+                link.loss_probability = loss_probability
+            if jitter_s is not None:
+                link.jitter_s = jitter_s
 
     def _arrive(self, node_name: str, packet: Packet) -> None:
         role = self.topology.graph.nodes[node_name].get("role")

@@ -60,6 +60,17 @@ class Topology:
         """Remove a link (used by the topology-change experiments)."""
         self.graph.remove_edge(a, b)
 
+    def has_link(self, a: str, b: str) -> bool:
+        """True when the ``a``–``b`` link currently exists."""
+        return self.graph.has_edge(a, b)
+
+    def links_of(self, name: str) -> List[tuple]:
+        """Every live link at ``name`` as ``(name, neighbor, spec)`` triples."""
+        return [
+            (name, neighbor, self.graph.edges[name, neighbor]["spec"])
+            for neighbor in self.graph.neighbors(name)
+        ]
+
     # -- queries -------------------------------------------------------------------
     def switches(self) -> List[str]:
         """All switch names, in insertion order."""

@@ -15,13 +15,14 @@ from repro.openflow.messages import (
     FlowMod,
     FlowModCommand,
     FlowRemoved,
+    Heartbeat,
     Message,
     PacketIn,
     PacketOut,
     StatsReply,
     StatsRequest,
 )
-from repro.openflow.channel import ControlChannel
+from repro.openflow.channel import ChannelFaultModel, ControlChannel
 from repro.openflow.controller import Controller
 
 __all__ = [
@@ -35,6 +36,8 @@ __all__ = [
     "BarrierReply",
     "StatsRequest",
     "StatsReply",
+    "Heartbeat",
+    "ChannelFaultModel",
     "ControlChannel",
     "Controller",
 ]

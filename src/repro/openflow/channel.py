@@ -8,16 +8,35 @@ controller processing the other — the processing half lives in
 
 Message ordering per direction is FIFO, which the Barrier implementation
 relies on.
+
+Fault model and reliability
+---------------------------
+By default the channel is perfect and this module behaves exactly as it
+always has.  Attaching a :class:`ChannelFaultModel` makes individual
+*transmissions* unreliable (independent drop probability, optional extra
+delay), and flips the channel into reliable mode: every message gets a
+per-direction sequence number, the sender retransmits on an ack timeout
+with capped exponential backoff plus jitter, and the receiver suppresses
+duplicates before invoking the handler — so cache-install and
+partition-update handlers stay idempotent under duplicates and
+reordering.  Counters expose attempted vs. delivered messages, retries,
+duplicates and permanent losses.
+
+With faults the per-direction FIFO guarantee no longer holds (a
+retransmitted message can overtake a later one); handlers behind a
+faulty channel must not rely on ordering.
 """
 
 from __future__ import annotations
 
-from typing import Callable
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
-from repro.net.events import EventScheduler
+from repro.net.events import EventScheduler, ScheduledEvent
 from repro.openflow.messages import Message
 
-__all__ = ["ControlChannel"]
+__all__ = ["ControlChannel", "ChannelFaultModel"]
 
 #: Default one-way control channel latency (seconds).  Calibrated so the
 #: NOX first-packet RTT lands near the ~10 ms the paper reports once
@@ -25,8 +44,87 @@ __all__ = ["ControlChannel"]
 DEFAULT_CONTROL_LATENCY_S = 2e-3
 
 
+@dataclass
+class ChannelFaultModel:
+    """Per-transmission unreliability of a control session.
+
+    Attributes
+    ----------
+    drop_probability:
+        Independent probability that any single transmission (data,
+        retransmission, or ack) is lost.  Mutable, so a chaos schedule
+        can raise it for a brownout window and restore it afterwards.
+    extra_delay_s:
+        Maximum uniform extra latency added per transmission.
+    seed:
+        Seeds the private RNG; same seed → same drop/delay stream.
+    drop_pattern:
+        Optional deterministic prefix: each transmission consumes one
+        boolean (``True`` = drop) until the pattern is exhausted, after
+        which the probabilistic model takes over.  Exists for tests that
+        need exact drop placement.
+    """
+
+    drop_probability: float = 0.0
+    extra_delay_s: float = 0.0
+    seed: int = 0
+    drop_pattern: Optional[Sequence[bool]] = None
+    _rng: random.Random = field(init=False, repr=False, compare=False, default=None)
+    _pattern_index: int = field(init=False, repr=False, compare=False, default=0)
+
+    def __post_init__(self):
+        self._rng = random.Random(f"chan:{self.seed}")
+
+    def drops_transmission(self) -> bool:
+        """Decide the fate of the next transmission (consumes randomness)."""
+        if self.drop_pattern is not None and self._pattern_index < len(self.drop_pattern):
+            verdict = bool(self.drop_pattern[self._pattern_index])
+            self._pattern_index += 1
+            return verdict
+        if self.drop_probability <= 0.0:
+            return False
+        return self._rng.random() < self.drop_probability
+
+    def transmission_delay(self) -> float:
+        """Extra latency for the next transmission (consumes randomness)."""
+        if self.extra_delay_s <= 0.0:
+            return 0.0
+        return self._rng.uniform(0.0, self.extra_delay_s)
+
+
+class _Pending:
+    """Sender-side state of one unacked reliable message."""
+
+    __slots__ = ("message", "attempts", "timer", "timeout_s")
+
+    def __init__(self, message: Message, timeout_s: float):
+        self.message = message
+        self.attempts = 1
+        self.timer: Optional[ScheduledEvent] = None
+        self.timeout_s = timeout_s
+
+
 class ControlChannel:
-    """One switch's control session to the controller."""
+    """One switch's control session to the controller.
+
+    Parameters
+    ----------
+    fault_model:
+        ``None`` (default) keeps the channel perfect and the behaviour
+        identical to the pre-fault implementation.
+    reliable:
+        Enable the ack/retransmit/dedup machinery.  Default: on exactly
+        when a fault model is attached.
+    retx_timeout_s:
+        Initial ack timeout before the first retransmission; defaults to
+        four one-way latencies (comfortably above the RTT).
+    max_retries:
+        Retransmissions per message before declaring it permanently
+        lost; ``None`` retries forever (delivery is then guaranteed for
+        any drop probability below 1).
+    backoff_factor / backoff_cap_s:
+        Exponential backoff multiplier per retry and its cap.
+    """
 
     def __init__(
         self,
@@ -35,24 +133,170 @@ class ControlChannel:
         to_controller: Callable[[Message], None],
         to_switch: Callable[[Message], None],
         latency_s: float = DEFAULT_CONTROL_LATENCY_S,
+        fault_model: Optional[ChannelFaultModel] = None,
+        reliable: Optional[bool] = None,
+        retx_timeout_s: Optional[float] = None,
+        max_retries: Optional[int] = 8,
+        backoff_factor: float = 2.0,
+        backoff_cap_s: float = 0.5,
     ):
         self.scheduler = scheduler
         self.switch_name = switch_name
         self._to_controller = to_controller
         self._to_switch = to_switch
         self.latency_s = latency_s
+        self.fault_model = fault_model
+        self.reliable = (fault_model is not None) if reliable is None else reliable
+        self.retx_timeout_s = (
+            4.0 * latency_s if retx_timeout_s is None else retx_timeout_s
+        )
+        self.max_retries = max_retries
+        self.backoff_factor = backoff_factor
+        self.backoff_cap_s = backoff_cap_s
+        self._backoff_rng = random.Random(f"backoff:{switch_name}")
+        # Per-direction sequence numbers, unacked sends, and receiver dedup.
+        self._next_seq = {"up": 0, "down": 0}
+        self._pending: Dict[Tuple[str, int], _Pending] = {}
+        self._seen: Dict[str, Set[int]] = {"up": set(), "down": set()}
+        #: Called as ``on_lost(direction, message)`` when a message is
+        #: abandoned (retries exhausted, or dropped on an unreliable send).
+        self.on_lost: Optional[Callable[[str, Message], None]] = None
+        # Counters: attempted unique messages (the historical meaning of
+        # messages_up/down), unique deliveries, and the fault breakdown.
         self.messages_up = 0
         self.messages_down = 0
+        self.delivered_up = 0
+        self.delivered_down = 0
+        self.retries_up = 0
+        self.retries_down = 0
+        self.duplicates_up = 0
+        self.duplicates_down = 0
+        self.lost_up = 0
+        self.lost_down = 0
 
-    def send_to_controller(self, message: Message) -> None:
+    # -- public API -----------------------------------------------------------
+    def send_to_controller(self, message: Message, reliable: Optional[bool] = None) -> None:
         """Switch-side send; arrives at the controller after the latency."""
         self.messages_up += 1
-        self.scheduler.schedule(self.latency_s, self._to_controller, message)
+        self._send("up", message, self.reliable if reliable is None else reliable)
 
-    def send_to_switch(self, message: Message) -> None:
+    def send_to_switch(self, message: Message, reliable: Optional[bool] = None) -> None:
         """Controller-side send; arrives at the switch after the latency."""
         self.messages_down += 1
-        self.scheduler.schedule(self.latency_s, self._to_switch, message)
+        self._send("down", message, self.reliable if reliable is None else reliable)
+
+    def counters(self) -> Dict[str, int]:
+        """The attempted/delivered/retry/duplicate/lost breakdown."""
+        return {
+            "attempted_up": self.messages_up,
+            "attempted_down": self.messages_down,
+            "delivered_up": self.delivered_up,
+            "delivered_down": self.delivered_down,
+            "retries_up": self.retries_up,
+            "retries_down": self.retries_down,
+            "duplicates_up": self.duplicates_up,
+            "duplicates_down": self.duplicates_down,
+            "lost_up": self.lost_up,
+            "lost_down": self.lost_down,
+        }
+
+    # -- transmission mechanics -------------------------------------------------
+    def _send(self, direction: str, message: Message, reliable: bool) -> None:
+        if not reliable and self.fault_model is None:
+            # Fast path: the original perfect-FIFO channel, untouched.
+            self.scheduler.schedule(self.latency_s, self._deliver_unreliable,
+                                    direction, message)
+            return
+        if not reliable:
+            if self.fault_model.drops_transmission():
+                self._count_lost(direction, message)
+                return
+            delay = self.latency_s + self.fault_model.transmission_delay()
+            self.scheduler.schedule(delay, self._deliver_unreliable, direction, message)
+            return
+        seq = self._next_seq[direction]
+        self._next_seq[direction] += 1
+        pending = _Pending(message, self.retx_timeout_s)
+        self._pending[(direction, seq)] = pending
+        self._transmit(direction, seq, pending)
+
+    def _transmit(self, direction: str, seq: int, pending: _Pending) -> None:
+        """One physical attempt of a reliable message, plus its ack timer."""
+        if not self._drops():
+            delay = self.latency_s + self._extra_delay()
+            self.scheduler.schedule(delay, self._deliver_reliable,
+                                    direction, seq, pending.message)
+        jitter = pending.timeout_s * 0.1 * self._backoff_rng.random()
+        pending.timer = self.scheduler.schedule(
+            pending.timeout_s + jitter, self._ack_timeout, direction, seq
+        )
+
+    def _ack_timeout(self, direction: str, seq: int) -> None:
+        pending = self._pending.get((direction, seq))
+        if pending is None:
+            return  # acked in the meantime
+        if self.max_retries is not None and pending.attempts > self.max_retries:
+            del self._pending[(direction, seq)]
+            self._count_lost(direction, pending.message)
+            return
+        pending.attempts += 1
+        pending.timeout_s = min(
+            pending.timeout_s * self.backoff_factor, self.backoff_cap_s
+        )
+        if direction == "up":
+            self.retries_up += 1
+        else:
+            self.retries_down += 1
+        self._transmit(direction, seq, pending)
+
+    def _deliver_reliable(self, direction: str, seq: int, message: Message) -> None:
+        # Ack every reception — the sender may have missed the previous ack.
+        if not self._drops():
+            delay = self.latency_s + self._extra_delay()
+            self.scheduler.schedule(delay, self._ack_arrived, direction, seq)
+        seen = self._seen[direction]
+        if seq in seen:
+            if direction == "up":
+                self.duplicates_up += 1
+            else:
+                self.duplicates_down += 1
+            return
+        seen.add(seq)
+        self._hand_over(direction, message)
+
+    def _ack_arrived(self, direction: str, seq: int) -> None:
+        pending = self._pending.pop((direction, seq), None)
+        if pending is not None and pending.timer is not None:
+            pending.timer.cancel()
+
+    def _deliver_unreliable(self, direction: str, message: Message) -> None:
+        self._hand_over(direction, message)
+
+    def _hand_over(self, direction: str, message: Message) -> None:
+        if direction == "up":
+            self.delivered_up += 1
+            self._to_controller(message)
+        else:
+            self.delivered_down += 1
+            self._to_switch(message)
+
+    def _count_lost(self, direction: str, message: Message) -> None:
+        if direction == "up":
+            self.lost_up += 1
+        else:
+            self.lost_down += 1
+        if self.on_lost is not None:
+            self.on_lost(direction, message)
+
+    def _drops(self) -> bool:
+        return self.fault_model is not None and self.fault_model.drops_transmission()
+
+    def _extra_delay(self) -> float:
+        return 0.0 if self.fault_model is None else self.fault_model.transmission_delay()
+
+    def pending_messages(self) -> List[Message]:
+        """Reliable messages still awaiting an ack (diagnostics)."""
+        return [p.message for p in self._pending.values()]
 
     def __repr__(self) -> str:
         return (

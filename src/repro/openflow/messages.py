@@ -27,6 +27,7 @@ __all__ = [
     "BarrierReply",
     "StatsRequest",
     "StatsReply",
+    "Heartbeat",
 ]
 
 _transaction_ids = itertools.count()
@@ -113,3 +114,16 @@ class StatsReply(Message):
 
     switch: str
     entries: List[tuple] = field(default_factory=list)  # (rule, packets, bytes)
+
+
+@dataclass
+class Heartbeat(Message):
+    """Switch → controller: liveness beacon (echo-request analogue).
+
+    Sent fire-and-forget — a lost heartbeat is exactly the signal the
+    failure detector integrates over, so it must not be retransmitted.
+    """
+
+    switch: str
+    beat: int = 0
+    sent_at: float = 0.0

@@ -57,6 +57,10 @@ class DataPlaneSwitch:
         #: before processing; models the paper's kernel-switch hop cost.
         self.forwarding_delay_s = forwarding_delay_s
         self.network = None
+        #: Liveness flag maintained by the failure injector; a dead switch
+        #: keeps its state (rules survive a reboot) but stops emitting
+        #: heartbeats until restored.
+        self.alive = True
         self._station: Optional[ServiceStation] = None
         self.packets_seen = 0
         self.packets_dropped_overload = 0

@@ -58,4 +58,4 @@ class TestCli:
         assert "E1-policies" in capsys.readouterr().out
 
     def test_registry_covers_all_ten(self):
-        assert set(EXPERIMENTS) == {f"E{i}" for i in range(1, 11)}
+        assert set(EXPERIMENTS) == {f"E{i}" for i in range(1, 11)} | {"C1"}

@@ -1,0 +1,154 @@
+"""Control-channel survivability: drops, retransmission, dedup, counters."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.events import EventScheduler
+from repro.openflow.channel import ChannelFaultModel, ControlChannel
+from repro.openflow.messages import FlowMod, FlowModCommand, Heartbeat
+
+
+def make_channel(scheduler, fault_model=None, **kwargs):
+    inbox_up, inbox_down = [], []
+    channel = ControlChannel(
+        scheduler, "s0",
+        to_controller=inbox_up.append,
+        to_switch=inbox_down.append,
+        latency_s=1e-3,
+        fault_model=fault_model,
+        **kwargs,
+    )
+    return channel, inbox_up, inbox_down
+
+
+def flow_mod(i):
+    return FlowMod(switch="s0", command=FlowModCommand.ADD, rule=i)
+
+
+class TestPerfectChannel:
+    def test_default_channel_is_untouched(self):
+        scheduler = EventScheduler()
+        channel, up, down = make_channel(scheduler)
+        assert channel.reliable is False
+        channel.send_to_controller(flow_mod(1))
+        channel.send_to_switch(flow_mod(2))
+        scheduler.run()
+        assert [m.rule for m in up] == [1]
+        assert [m.rule for m in down] == [2]
+        counters = channel.counters()
+        assert counters["attempted_up"] == counters["delivered_up"] == 1
+        assert counters["retries_up"] == counters["lost_up"] == 0
+
+    def test_fifo_order_without_faults(self):
+        scheduler = EventScheduler()
+        channel, up, _ = make_channel(scheduler)
+        for i in range(10):
+            channel.send_to_controller(flow_mod(i))
+        scheduler.run()
+        assert [m.rule for m in up] == list(range(10))
+
+
+class TestReliableDelivery:
+    def test_retransmission_survives_a_dropped_send(self):
+        # First transmission dropped, everything after goes through.
+        fm = ChannelFaultModel(drop_pattern=[True])
+        scheduler = EventScheduler()
+        channel, up, _ = make_channel(scheduler, fault_model=fm)
+        assert channel.reliable is True
+        channel.send_to_controller(flow_mod(7))
+        scheduler.run()
+        assert [m.rule for m in up] == [7]
+        assert channel.retries_up == 1
+        assert channel.delivered_up == 1
+        assert channel.lost_up == 0
+
+    def test_lost_ack_causes_duplicate_suppression(self):
+        # Data arrives, its ack is dropped → retransmit → receiver dedups.
+        fm = ChannelFaultModel(drop_pattern=[False, True])
+        scheduler = EventScheduler()
+        channel, up, _ = make_channel(scheduler, fault_model=fm)
+        channel.send_to_controller(flow_mod(3))
+        scheduler.run()
+        assert [m.rule for m in up] == [3]  # handler saw it exactly once
+        assert channel.duplicates_up == 1
+        assert channel.retries_up == 1
+
+    def test_retry_exhaustion_reports_permanent_loss(self):
+        fm = ChannelFaultModel(drop_probability=1.0)
+        scheduler = EventScheduler()
+        channel, up, _ = make_channel(scheduler, fault_model=fm, max_retries=3)
+        lost = []
+        channel.on_lost = lambda direction, message: lost.append((direction, message))
+        channel.send_to_controller(flow_mod(9))
+        scheduler.run()
+        assert up == []
+        assert channel.lost_up == 1
+        assert channel.retries_up == 3
+        assert [(d, m.rule) for d, m in lost] == [("up", 9)]
+
+    def test_backoff_grows_and_is_capped(self):
+        fm = ChannelFaultModel(drop_probability=1.0)
+        scheduler = EventScheduler()
+        channel, _, _ = make_channel(
+            scheduler, fault_model=fm, max_retries=10,
+            retx_timeout_s=0.01, backoff_factor=2.0, backoff_cap_s=0.05,
+        )
+        channel.send_to_controller(flow_mod(0))
+        scheduler.run()
+        # 10 retries with doubling from 10 ms capped at 50 ms: the run must
+        # finish after the capped sum, not the uncapped exponential one.
+        assert scheduler.now < 1.0
+        assert scheduler.now > 0.05  # at least a few capped timeouts long
+
+    def test_per_send_reliability_override(self):
+        # Heartbeats ride fire-and-forget even on a reliable channel.
+        fm = ChannelFaultModel(drop_probability=1.0)
+        scheduler = EventScheduler()
+        channel, up, _ = make_channel(scheduler, fault_model=fm)
+        channel.send_to_controller(Heartbeat(switch="s0"), reliable=False)
+        scheduler.run()
+        assert up == []
+        assert channel.lost_up == 1
+        assert channel.retries_up == 0  # never retransmitted
+        assert channel.pending_messages() == []
+
+    def test_attempted_vs_delivered_distinction(self):
+        fm = ChannelFaultModel(drop_pattern=[True, True])
+        scheduler = EventScheduler()
+        channel, up, down = make_channel(scheduler, fault_model=fm)
+        channel.send_to_controller(flow_mod(1))
+        channel.send_to_switch(flow_mod(2))
+        scheduler.run()
+        counters = channel.counters()
+        assert counters["attempted_up"] == 1
+        assert counters["attempted_down"] == 1
+        assert counters["delivered_up"] == 1
+        assert counters["delivered_down"] == 1
+        assert counters["retries_up"] + counters["retries_down"] == 2
+
+
+class TestExactlyOnce:
+    @given(
+        pattern=st.lists(st.booleans(), max_size=60),
+        count=st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_every_install_delivered_exactly_once(self, pattern, count):
+        """Any drop placement < 100%: unbounded ARQ delivers exactly once.
+
+        The pattern hits data sends, retransmissions and acks alike; once
+        exhausted the channel is perfect, so with ``max_retries=None``
+        every message must come through — and dedup must stop any
+        lost-ack duplicate from reaching the handler twice.
+        """
+        fm = ChannelFaultModel(drop_pattern=pattern)
+        scheduler = EventScheduler()
+        channel, up, down = make_channel(scheduler, fault_model=fm, max_retries=None)
+        for i in range(count):
+            channel.send_to_controller(flow_mod(i))
+            channel.send_to_switch(flow_mod(1000 + i))
+        scheduler.run()
+        assert sorted(m.rule for m in up) == list(range(count))
+        assert sorted(m.rule for m in down) == [1000 + i for i in range(count)]
+        assert channel.lost_up == channel.lost_down == 0
+        assert channel.pending_messages() == []
