@@ -203,6 +203,94 @@ def test_perf_engine_comparison(benchmark, archive):
     assert best >= 3.0, f"best alternative engine only {best}x at 10K rules"
 
 
+def test_perf_obs_overhead(benchmark, archive):
+    """Price the observability layer on a full simulation hot path.
+
+    Runs one identical DIFANE workload three ways — registry disabled,
+    registry enabled (the default every experiment now runs with), and
+    registry + packet tracing — and archives the relative cost.  The
+    design target is <5% for metrics-on with tracing disabled (bound
+    children: one ``+=`` per event); the hard gate is set generously at
+    15% to stay robust to shared-machine timing noise while the archived
+    number records what was actually measured.
+    """
+    from repro.core.controller import DifaneNetwork
+    from repro.flowspace.packet import Packet
+    from repro.net.topology import TopologyBuilder
+    from repro.obs import context as obs_context
+    from repro.obs import fresh_run_context
+    from repro.workloads.policies import routing_policy_for_topology
+
+    def run_workload() -> int:
+        topo = TopologyBuilder.star(4, hosts_per_leaf=1)
+        rules, host_ips = routing_policy_for_topology(topo, LAYOUT)
+        dn = DifaneNetwork.build(
+            topo, rules, LAYOUT, authority_switches=["hub"], cache_capacity=256,
+        )
+        count = 4_000
+        for index in range(count):
+            flow = index % 64  # mostly cache hits: the steady-state hot path
+            packet = Packet.from_fields(
+                LAYOUT,
+                flow_id=flow,
+                nw_src=0x0A000000 | flow,
+                nw_dst=host_ips["h2"],
+                nw_proto=6,
+                tp_src=1024 + flow,
+                tp_dst=80,
+            )
+            dn.send_at(index * 1e-5, "h0", packet)
+        dn.run()
+        return len(dn.network.delivered())
+
+    def timed(repeats: int = 3, **context_kwargs) -> float:
+        best = float("inf")
+        for _ in range(repeats):
+            fresh_run_context(**context_kwargs)
+            started = time.perf_counter()
+            delivered = run_workload()
+            best = min(best, time.perf_counter() - started)
+            assert delivered > 0
+        return best
+
+    def compare():
+        previous = obs_context.current()
+        try:
+            baseline = timed(metrics_enabled=False)
+            metrics_on = timed(metrics_enabled=True)
+            traced = timed(metrics_enabled=True, trace=True)
+        finally:
+            obs_context.install(previous)
+        return {
+            "workload": "star-4 DIFANE, 4000 packets, 64 hot flows",
+            "baseline_s": round(baseline, 4),
+            "metrics_s": round(metrics_on, 4),
+            "trace_s": round(traced, 4),
+            "metrics_overhead": round(metrics_on / baseline - 1.0, 4),
+            "trace_overhead": round(traced / baseline - 1.0, 4),
+        }
+
+    report = run_once(benchmark, compare)
+
+    lines = [
+        "Observability overhead on the simulation hot path",
+        "",
+        f"workload: {report['workload']}",
+        f"{'configuration':<24} {'seconds':>8} {'overhead':>9}",
+        f"{'obs disabled':<24} {report['baseline_s']:>8.3f} {'—':>9}",
+        f"{'metrics on':<24} {report['metrics_s']:>8.3f} "
+        f"{report['metrics_overhead']:>8.1%}",
+        f"{'metrics + trace':<24} {report['trace_s']:>8.3f} "
+        f"{report['trace_overhead']:>8.1%}",
+    ]
+    archive("obs-overhead", "\n".join(lines))
+    (RESULTS_DIR / "obs-overhead.json").write_text(json.dumps(report, indent=2) + "\n")
+
+    assert report["metrics_overhead"] < 0.15, (
+        f"metrics-on overhead {report['metrics_overhead']:.1%} exceeds the gate"
+    )
+
+
 def test_perf_partitioner_10k(benchmark):
     """Partition a 10K-rule classifier into 64 leaves (controller path)."""
     policy = generate_classbench("acl", count=10_000, seed=19, layout=LAYOUT)

@@ -12,20 +12,35 @@ import pathlib
 
 import pytest
 
+from repro.obs import context as obs_context
+from repro.obs import fresh_run_context
+
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
 @pytest.fixture
 def archive():
-    """Return a writer: archive(name, text) prints and persists the text."""
+    """Return a writer: archive(name, text) prints and persists the text.
+
+    The fixture installs a fresh observability context before the bench
+    body runs, so every network the bench builds reports into one
+    registry; the writer persists that registry as ``<name>-metrics.json``
+    next to the text archive.
+    """
     RESULTS_DIR.mkdir(exist_ok=True)
+    previous = obs_context.current()
+    context = fresh_run_context()
 
     def write(name: str, text: str) -> None:
         print()
         print(text)
         (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        context.metrics.write_json(
+            RESULTS_DIR / f"{name}-metrics.json", name=name
+        )
 
-    return write
+    yield write
+    obs_context.install(previous)
 
 
 def run_once(benchmark, func, *args, **kwargs):

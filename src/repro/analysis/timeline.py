@@ -5,6 +5,11 @@ into rate-over-time curves (delivered/s, dropped/s, detour fraction) —
 the view the paper's throughput-over-time plots take, and the tool for
 spotting transients around dynamics events (failover dips, cache warm-up
 ramps).
+
+The same curves can be built from a :class:`~repro.obs.trace.PacketTracer`
+export — :func:`records_from_trace` adapts terminal trace events into
+record-shaped objects — so a trace JSONL captured from one run is enough
+to reconstruct its timelines offline.
 """
 
 from __future__ import annotations
@@ -14,8 +19,20 @@ from typing import Sequence
 import numpy as np
 
 from repro.analysis.series import Series
+from repro.obs.trace import records_like
 
-__all__ = ["rate_timeline", "detour_timeline"]
+__all__ = ["rate_timeline", "detour_timeline", "records_from_trace"]
+
+
+def records_from_trace(events) -> list:
+    """Adapt trace events into record objects the timeline builders accept.
+
+    ``events`` is any iterable of :class:`~repro.obs.trace.TraceEvent` (or
+    dicts from a trace JSONL); only terminal events (delivered/dropped)
+    survive, each exposing ``finished_at``, ``delivered``,
+    ``via_authority`` and ``via_controller``.
+    """
+    return records_like(events)
 
 
 def rate_timeline(

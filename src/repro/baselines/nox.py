@@ -33,6 +33,7 @@ from repro.flowspace.table import RuleTable
 from repro.flowspace.ternary import Ternary
 from repro.net.simnet import SimNetwork
 from repro.net.topology import Topology
+from repro.obs.trace import TraceKind
 from repro.openflow.controller import Controller, DEFAULT_CONTROLLER_RATE
 from repro.openflow.messages import FlowMod, FlowModCommand, Message, PacketIn, PacketOut
 from repro.switch.switch import DataPlaneSwitch
@@ -114,6 +115,11 @@ class NoxSwitch(DataPlaneSwitch):
         # and waits in the controller queue (tail drop = packet loss).
         self.punts += 1
         packet.via_controller = True
+        tracer = self.network.tracer
+        if tracer.enabled:
+            tracer.record(
+                self.network.scheduler.now, TraceKind.PUNT, packet, node=self.name
+            )
         self.channel.send_to_controller(PacketIn(switch=self.name, packet=packet))
 
     def _execute_verdict(self, packet: Packet, actions) -> None:

@@ -16,14 +16,16 @@ figure, mirroring what the benchmark harness archives under
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from typing import Callable, Dict, Tuple
 
 from repro.analysis.asciiplot import ascii_plot
 from repro.analysis.report import render_series_table, render_table
-from repro.experiments.common import ExperimentResult
+from repro.experiments.common import ExperimentResult, metrics_document
 from repro.flowspace.engine import ENGINE_CHOICES, set_default_engine
+from repro.obs import fresh_run_context
 
 __all__ = ["main"]
 
@@ -167,6 +169,17 @@ def main(argv=None) -> int:
     run.add_argument("--heartbeat-interval", type=float, default=None,
                      metavar="SECONDS",
                      help="C1: authority heartbeat period")
+    run.add_argument("--metrics-out", metavar="PATH", default=None,
+                     help="write the run's canonical metrics JSON here "
+                          "(one document per experiment; a mapping keyed "
+                          "by experiment id when several run)")
+    run.add_argument("--trace-out", metavar="PATH", default=None,
+                     help="enable packet-lifecycle tracing and write the "
+                          "events as JSON Lines here")
+    run.add_argument("--profile", action="store_true",
+                     help="record wall-time histograms around scheduler "
+                          "callbacks, engine lookups and channel sends "
+                          "(profile_* metrics; excluded from metrics JSON)")
 
     args = parser.parse_args(argv)
 
@@ -195,12 +208,37 @@ def main(argv=None) -> int:
     if args.heartbeat_interval is not None:
         CHAOS_OPTIONS["heartbeat_interval_s"] = args.heartbeat_interval
 
-    for key in wanted:
-        _, runner = EXPERIMENTS[key]
-        started = time.time()
-        result = runner(args.quick)
-        _print_result(result, plot=not args.no_plot)
-        print(f"({key} took {time.time() - started:.1f}s)")
+    documents: Dict[str, dict] = {}
+    trace_handle = open(args.trace_out, "w") if args.trace_out else None
+    try:
+        for key in wanted:
+            _, runner = EXPERIMENTS[key]
+            # One fresh observability context per experiment: every
+            # network/component built by the runner binds into it, so
+            # the emitted document is exactly this experiment's run.
+            context = fresh_run_context(
+                trace=trace_handle is not None, profile=args.profile
+            )
+            started = time.time()
+            result = runner(args.quick)
+            _print_result(result, plot=not args.no_plot)
+            print(f"({key} took {time.time() - started:.1f}s)")
+            if args.metrics_out:
+                documents[key] = metrics_document(result, context=context)
+            if trace_handle is not None:
+                context.tracer.write_jsonl(trace_handle, extra={"experiment": key})
+    finally:
+        if trace_handle is not None:
+            trace_handle.close()
+
+    if args.metrics_out:
+        payload = documents[wanted[0]] if len(wanted) == 1 else documents
+        with open(args.metrics_out, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"metrics written to {args.metrics_out}")
+    if args.trace_out:
+        print(f"trace written to {args.trace_out}")
     return 0
 
 

@@ -34,6 +34,8 @@ from repro.core.cachegen import (
     generate_cache_rules,
 )
 from repro.net.events import ServiceStation
+from repro.obs.registry import NULL_METRIC
+from repro.obs.trace import TraceKind
 from repro.openflow.messages import (
     FlowMod,
     FlowModCommand,
@@ -85,6 +87,15 @@ class DifaneSwitch(DataPlaneSwitch):
         Match-engine backend for the pipeline's TCAM regions (see
         :mod:`repro.flowspace.engine`); ``None`` uses the process default.
     """
+
+    #: Per-switch statistics mirrored into the metrics registry as
+    #: ``difane_<stat>_total{switch=...}`` counters.
+    _MIRRORED_STATS = (
+        "cache_hits", "authority_hits", "redirects_out",
+        "redirects_handled", "cache_installs_sent",
+        "cache_installs_received", "failovers", "unmatched",
+        "degraded_packets",
+    )
 
     def __init__(
         self,
@@ -143,11 +154,22 @@ class DifaneSwitch(DataPlaneSwitch):
         self.unmatched = 0
         self.degraded_packets = 0
         self.heartbeats_sent = 0
+        #: Registry children keyed by statistic name; null until
+        #: attach() binds the network's registry (keeps directly-driven
+        #: switches working in unit tests).
+        self._m: dict = {stat: NULL_METRIC for stat in self._MIRRORED_STATS}
 
     # -- wiring ---------------------------------------------------------------
     def attach(self, network) -> None:
         """Wire the redirect-capacity queue when the network binds us."""
         super().attach(network)
+        # Mirror the per-switch statistics into the run's registry so
+        # experiments read one canonical snapshot instead of scraping
+        # switch attributes.  Children are bound once; increments are
+        # a single += on the hot path.
+        registry = network.metrics
+        for stat in self._MIRRORED_STATS:
+            self._m[stat] = registry.counter(f"difane_{stat}_total", switch=self.name)
         if self.redirect_rate is not None:
             self._redirect_station = ServiceStation(
                 network.scheduler,
@@ -156,6 +178,7 @@ class DifaneSwitch(DataPlaneSwitch):
                 queue_limit=self.redirect_queue,
                 on_drop=self._redirect_overload,
                 name=f"{self.name}.redirect",
+                metrics=network.metrics,
             )
 
     # -- control plane (optional; wired by connect_control_plane) -----------------
@@ -218,7 +241,12 @@ class DifaneSwitch(DataPlaneSwitch):
     def install_cache_rule(self, rule: Rule) -> None:
         """Receive an in-band cache install from an authority switch."""
         self.cache_installs_received += 1
+        self._m["cache_installs_received"].inc()
         now = self._now()
+        if self.network is not None and self.network.tracer.enabled:
+            self.network.tracer.record(
+                now, TraceKind.INSTALL_RECEIVED, rule, node=self.name
+            )
         self.cache.expire(now)
         self.cache.install(rule, now)
 
@@ -246,20 +274,36 @@ class DifaneSwitch(DataPlaneSwitch):
 
         # Ingress classification.
         result = self.pipeline.lookup(packet, now)
+        self._classified(packet, result, now)
+
+    def _classified(self, packet: Packet, result, now: float) -> None:
+        """Act on one ingress classification verdict (shared by the
+        per-packet and batch paths; counters and traces identical)."""
+        tracer = self.network.tracer
         if result.stage is PipelineStage.CACHE:
             self.cache_hits += 1
+            self._m["cache_hits"].inc()
+            if tracer.enabled:
+                tracer.record(now, TraceKind.CACHE_HIT, packet, node=self.name)
             self._terminal(packet, result.rule)
         elif result.stage is PipelineStage.AUTHORITY:
             # This switch is itself the authority for the packet's
             # partition: handle locally, no redirect needed.
             self.authority_hits += 1
+            self._m["authority_hits"].inc()
+            if tracer.enabled:
+                tracer.record(now, TraceKind.AUTHORITY_HIT, packet, node=self.name)
             self._terminal(packet, result.rule)
         elif result.stage is PipelineStage.PARTITION:
             self.redirects_out += 1
+            self._m["redirects_out"].inc()
             packet.via_authority = True
+            if tracer.enabled:
+                tracer.record(now, TraceKind.REDIRECT, packet, node=self.name)
             self._redirect_via_partition(packet, result.rule)
         else:
             self.unmatched += 1
+            self._m["unmatched"].inc()
             self.network.record_drop(packet, self.name, "no matching rule")
 
     def process_batch(self, packets: List[Packet]) -> None:
@@ -281,19 +325,7 @@ class DifaneSwitch(DataPlaneSwitch):
         if not ingress:
             return
         for packet, result in zip(ingress, self.pipeline.lookup_batch(ingress, now)):
-            if result.stage is PipelineStage.CACHE:
-                self.cache_hits += 1
-                self._terminal(packet, result.rule)
-            elif result.stage is PipelineStage.AUTHORITY:
-                self.authority_hits += 1
-                self._terminal(packet, result.rule)
-            elif result.stage is PipelineStage.PARTITION:
-                self.redirects_out += 1
-                packet.via_authority = True
-                self._redirect_via_partition(packet, result.rule)
-            else:
-                self.unmatched += 1
-                self.network.record_drop(packet, self.name, "no matching rule")
+            self._classified(packet, result, now)
 
     def _redirect_via_partition(self, packet: Packet, rule: Rule) -> None:
         """Tunnel a miss to its authority switch, failing over to backups.
@@ -309,6 +341,12 @@ class DifaneSwitch(DataPlaneSwitch):
                 if self.network.routes.reachable(self.name, backup):
                     destination = backup
                     self.failovers += 1
+                    self._m["failovers"].inc()
+                    if self.network.tracer.enabled:
+                        self.network.tracer.record(
+                            self._now(), TraceKind.FAILOVER, packet,
+                            node=self.name, detail=backup,
+                        )
                     break
             else:
                 # Partition orphaned: primary and every replicated backup
@@ -316,7 +354,12 @@ class DifaneSwitch(DataPlaneSwitch):
                 # controller classifies the packet, instead of dropping.
                 if self.control_channel is not None:
                     self.degraded_packets += 1
+                    self._m["degraded_packets"].inc()
                     packet.via_controller = True
+                    if self.network.tracer.enabled:
+                        self.network.tracer.record(
+                            self._now(), TraceKind.DEGRADED, packet, node=self.name
+                        )
                     self.control_channel.send_to_controller(
                         PacketIn(switch=self.name, packet=packet)
                     )
@@ -329,8 +372,13 @@ class DifaneSwitch(DataPlaneSwitch):
     def _handle_redirect(self, packet: Packet) -> None:
         """Authority-path processing of one redirected packet."""
         self.redirects_handled += 1
+        self._m["redirects_handled"].inc()
         packet.decapsulate()
         now = self._now()
+        if self.network.tracer.enabled:
+            self.network.tracer.record(
+                now, TraceKind.AUTHORITY_HANDLE, packet, node=self.name
+            )
         rule = self.pipeline.authority.lookup(packet, now)
         if rule is None:
             self.unmatched += 1
@@ -372,8 +420,15 @@ class DifaneSwitch(DataPlaneSwitch):
             return
         target = self.network.node(ingress)
         delay = self.install_latency_s + self.network.routes.distance(self.name, ingress)
+        tracer = self.network.tracer
         for cached in cached_rules:
             self.cache_installs_sent += 1
+            self._m["cache_installs_sent"].inc()
+            if tracer.enabled:
+                tracer.record(
+                    self._now(), TraceKind.INSTALL_SENT, cached,
+                    node=self.name, detail=ingress,
+                )
             self.network.scheduler.schedule(delay, target.install_cache_rule, cached)
 
     def _redirect_overload(self, packet: Packet) -> None:

@@ -184,6 +184,11 @@ class DifaneController:
         self.cache_entries_flushed = 0
         self.policy_updates = 0
         self.degraded_packet_ins = 0
+        # Mirror into the run's registry so metrics JSON carries the
+        # degraded-mode load without reaching into controller objects.
+        self._m_degraded_packet_ins = network.metrics.counter(
+            "controller_degraded_packet_ins_total"
+        )
 
     # -- robustness layer (opt-in; reliable fabric stays the default) --------------
     def connect_control_plane(
@@ -250,6 +255,7 @@ class DifaneController:
         never silent — degraded, not broken.
         """
         self.degraded_packet_ins += 1
+        self._m_degraded_packet_ins.inc()
         if self._policy_table is None:
             self._policy_table = RuleTable(self.layout, self.policy)
         packet = message.packet

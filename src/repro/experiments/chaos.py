@@ -23,7 +23,6 @@ layer):
 from __future__ import annotations
 
 import dataclasses
-from collections import Counter
 from typing import Dict, List, Optional, Tuple
 
 from repro.analysis.series import Series
@@ -34,6 +33,7 @@ from repro.flowspace.fields import FIVE_TUPLE_LAYOUT
 from repro.net.chaos import ChaosSchedule, ChaosSpec
 from repro.net.failures import FailureInjector
 from repro.net.topology import Topology, TopologyBuilder
+from repro.obs.attribution import attribute_drops
 from repro.openflow.channel import ChannelFaultModel
 from repro.workloads.policies import routing_policy_for_topology
 from repro.workloads.traffic import host_pair_packets
@@ -41,39 +41,6 @@ from repro.workloads.traffic import host_pair_packets
 __all__ = ["run_chaos_soak", "attribute_drops"]
 
 LAYOUT = FIVE_TUPLE_LAYOUT
-
-#: Drop-reason prefixes → attribution buckets.  Anything that lands in
-#: no bucket is *unattributed* — the soak's target for that is zero.
-_ATTRIBUTION = [
-    ("link loss", "link-loss"),
-    ("unreachable", "black-hole"),
-    ("no link", "black-hole"),
-    ("authority unreachable", "black-hole"),
-    ("authority miss", "black-hole"),
-    ("policy drop", "policy-intent"),
-    ("no policy rule", "policy-intent"),
-    ("no matching rule", "policy-intent"),
-    ("no terminal action", "policy-intent"),
-    ("control channel lost", "control-lost"),
-    ("authority overloaded", "overload"),
-    ("switch overloaded", "overload"),
-]
-
-
-def attribute_drops(records) -> Counter:
-    """Bucket every drop record by failure cause (see ``_ATTRIBUTION``)."""
-    buckets: Counter = Counter()
-    for record in records:
-        if record.delivered:
-            continue
-        reason = record.drop_reason or ""
-        for prefix, bucket in _ATTRIBUTION:
-            if reason.startswith(prefix):
-                buckets[bucket] += 1
-                break
-        else:
-            buckets["unattributed"] += 1
-    return buckets
 
 
 def _campus_with_loss(loss: float) -> Topology:

@@ -26,8 +26,12 @@ __all__ = [
     "Calibration",
     "CALIBRATION",
     "ExperimentResult",
+    "metrics_document",
     "resolve_engine",
 ]
+
+#: Version tag of the metrics JSON emitted for every experiment run.
+METRICS_SCHEMA = "difane-metrics/1"
 
 
 def resolve_engine(engine: Optional[str]) -> str:
@@ -84,3 +88,52 @@ class ExperimentResult:
             if series.label == label:
                 return series
         raise KeyError(f"no series labelled {label!r} in {self.name}")
+
+
+def _json_safe(value):
+    """Coerce ``value`` into plain JSON types (numpy scalars → Python)."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, dict):
+        return {str(key): _json_safe(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [_json_safe(item) for item in value]
+    to_python = getattr(value, "item", None)
+    if callable(to_python):
+        try:
+            return _json_safe(to_python())
+        except (TypeError, ValueError):
+            pass
+    return repr(value)
+
+
+def metrics_document(
+    result: ExperimentResult,
+    context=None,
+    exclude_prefixes=("profile_",),
+) -> Dict[str, object]:
+    """The canonical metrics JSON document for one experiment run.
+
+    Combines the experiment's public notes (underscore-prefixed entries
+    are internal debris and are dropped) with the run context's registry
+    snapshot.  Wall-clock ``profile_*`` histograms are excluded by
+    default so the document is deterministic — golden-regression tests
+    diff it verbatim.
+    """
+    from repro.obs import context as _obs_context
+
+    ctx = context if context is not None else _obs_context.current()
+    document: Dict[str, object] = {
+        "schema": METRICS_SCHEMA,
+        "experiment": result.name,
+        "title": result.title,
+        "notes": {
+            key: _json_safe(value)
+            for key, value in sorted(result.notes.items())
+            if not key.startswith("_")
+        },
+        "metrics": ctx.metrics.snapshot(exclude_prefixes=exclude_prefixes),
+    }
+    if ctx.tracer.enabled:
+        document["trace"] = ctx.tracer.accounting()
+    return document

@@ -21,6 +21,7 @@ results are reported normalized back to full scale.
 
 from __future__ import annotations
 
+from collections import Counter
 from typing import List, Optional, Sequence
 
 from repro.analysis.series import Series
@@ -35,6 +36,7 @@ from repro.experiments.common import (
 from repro.flowspace.fields import FIVE_TUPLE_LAYOUT
 from repro.flowspace.packet import Packet
 from repro.net.topology import Topology
+from repro.obs.attribution import attribute_drops
 from repro.workloads.policies import routing_policy_for_topology
 
 __all__ = ["run_throughput", "DEFAULT_RATES"]
@@ -125,6 +127,11 @@ def run_throughput(
     nox_series = Series(
         "NOX", x_label="offered load (flows/s)", y_label="goodput (flows/s)"
     )
+    # Attributed losses across the whole sweep: saturated runs shed load
+    # (queue tail drops), and the summary must say where it went rather
+    # than leaving the deficit implicit in the goodput curve.
+    difane_drops: Counter = Counter()
+    nox_drops: Counter = Counter()
 
     for rate in rates:
         rate_scaled = rate * scale
@@ -142,6 +149,7 @@ def run_throughput(
         )
         packets = _unique_flow_packets(flows_per_point, host_ips["hdst"])
         difane_series.append(rate, _measure_goodput(dn, topo, packets, rate_scaled, scale))
+        difane_drops.update(attribute_drops(dn.network.dropped()))
 
         topo = _build_topology()
         rules, host_ips = routing_policy_for_topology(topo, LAYOUT)
@@ -156,6 +164,7 @@ def run_throughput(
         )
         packets = _unique_flow_packets(flows_per_point, host_ips["hdst"])
         nox_series.append(rate, _measure_goodput(nn, topo, packets, rate_scaled, scale))
+        nox_drops.update(attribute_drops(nn.network.dropped()))
 
     result = ExperimentResult(
         name="E2-throughput",
@@ -166,6 +175,10 @@ def run_throughput(
             "flows_per_point": flows_per_point,
             "difane_capacity": calibration.authority_redirect_rate,
             "nox_capacity": calibration.controller_rate,
+            "difane_drop_attribution": dict(sorted(difane_drops.items())),
+            "nox_drop_attribution": dict(sorted(nox_drops.items())),
+            "difane_overload_drops": int(difane_drops.get("overload", 0)),
+            "nox_overload_drops": int(nox_drops.get("overload", 0)),
         },
     )
     result.notes["difane_peak"] = max(difane_series.y)

@@ -18,8 +18,11 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import time as _time
 from collections import deque
 from typing import Any, Callable, Deque, List, Optional, Tuple
+
+from repro.obs import context as _obs_context
 
 __all__ = ["EventScheduler", "ScheduledEvent", "ServiceStation"]
 
@@ -52,11 +55,15 @@ class EventScheduler:
     benchmarks rely on this.
     """
 
-    def __init__(self):
+    def __init__(self, profiler=None):
         self._heap: List[ScheduledEvent] = []
         self._sequence = itertools.count()
         self._now = 0.0
         self._events_processed = 0
+        #: Optional wall-time profiler; when enabled, each callback's
+        #: duration lands in a per-callback stage histogram.  Defaults
+        #: to the run context's profiler (a no-op unless profiling on).
+        self.profiler = profiler if profiler is not None else _obs_context.current_profiler()
 
     @property
     def now(self) -> float:
@@ -89,6 +96,7 @@ class EventScheduler:
         ``until``, or after ``max_events`` callbacks (a runaway guard).
         """
         fired = 0
+        profiler = self.profiler
         while self._heap:
             if max_events is not None and fired >= max_events:
                 break
@@ -99,7 +107,17 @@ class EventScheduler:
             if event.cancelled:
                 continue
             self._now = event.time
-            event.callback(*event.args)
+            if profiler is not None and profiler.enabled:
+                started = _time.perf_counter()
+                event.callback(*event.args)
+                profiler.observe(
+                    "callback:" + getattr(
+                        event.callback, "__qualname__", type(event.callback).__name__
+                    ),
+                    _time.perf_counter() - started,
+                )
+            else:
+                event.callback(*event.args)
             fired += 1
             self._events_processed += 1
         if until is not None and self._now < until:
@@ -132,6 +150,7 @@ class ServiceStation:
         queue_limit: Optional[int] = None,
         on_drop: Optional[Callable[[Any], None]] = None,
         name: str = "station",
+        metrics=None,
     ):
         if rate <= 0:
             raise ValueError(f"service rate must be positive, got {rate}")
@@ -149,6 +168,12 @@ class ServiceStation:
         self.completed = 0
         self.busy_time = 0.0
         self._service_started: Optional[float] = None
+        # Queue drops were historically only this local counter — the
+        # registry child makes every station's tail loss visible in one
+        # canonical metrics snapshot (labelled by station name).
+        registry = metrics if metrics is not None else _obs_context.current_registry()
+        self._m_queue_drops = registry.counter("station_queue_drops_total", station=name)
+        self._m_completed = registry.counter("station_completed_total", station=name)
 
     @property
     def queue_depth(self) -> int:
@@ -165,6 +190,7 @@ class ServiceStation:
         """Offer ``item``; returns False (and drops) when the queue is full."""
         if self.queue_limit is not None and len(self._queue) >= self.queue_limit:
             self.dropped += 1
+            self._m_queue_drops.inc()
             if self.on_drop is not None:
                 self.on_drop(item)
             return False
@@ -186,6 +212,7 @@ class ServiceStation:
 
     def _finish(self, item: Any) -> None:
         self.completed += 1
+        self._m_completed.inc()
         if self._service_started is not None:
             self.busy_time += self.scheduler.now - self._service_started
             self._service_started = None

@@ -25,6 +25,9 @@ from repro.net.events import EventScheduler
 from repro.net.links import Link
 from repro.net.routing import RoutingTable, compute_routes
 from repro.net.topology import Topology
+from repro.obs import context as _obs_context
+from repro.obs.attribution import attribute_reason
+from repro.obs.trace import TraceKind
 
 __all__ = ["SimNetwork", "DeliveryRecord"]
 
@@ -62,9 +65,20 @@ class SimNetwork:
         topology: Topology,
         scheduler: Optional[EventScheduler] = None,
         loss_seed: int = 0,
+        metrics=None,
+        tracer=None,
+        profiler=None,
     ):
         self.topology = topology
-        self.scheduler = scheduler or EventScheduler()
+        #: Observability surfaces: default to the active run context so
+        #: every network built during one run reports into one registry
+        #: (see :mod:`repro.obs.context`); pass explicit objects to
+        #: isolate or disable (the overhead bench does both).
+        context = _obs_context.current()
+        self.metrics = metrics if metrics is not None else context.metrics
+        self.tracer = tracer if tracer is not None else context.tracer
+        self.profiler = profiler if profiler is not None else context.profiler
+        self.scheduler = scheduler or EventScheduler(profiler=self.profiler)
         self.routes: RoutingTable = compute_routes(topology)
         #: Seed mixed into every link's private loss/jitter RNG.
         self.loss_seed = loss_seed
@@ -72,6 +86,11 @@ class SimNetwork:
         self._links: Dict[Tuple[str, str], Link] = {}
         self.deliveries: List[DeliveryRecord] = []
         self.control_messages_sent = 0
+        # Hot-path metric children, bound once.
+        self._m_injected = self.metrics.counter("packets_injected_total")
+        self._m_delivered = self.metrics.counter("packets_delivered_total")
+        self._m_control = self.metrics.counter("control_messages_total")
+        self._m_dropped: Dict[str, object] = {}
         self._build_links()
 
     # -- wiring ---------------------------------------------------------------
@@ -133,12 +152,18 @@ class SimNetwork:
         packet.created_at = self.scheduler.now
         attachment = self.topology.host_attachment(host)
         packet.ingress_switch = attachment
+        self._m_injected.inc()
+        if self.tracer.enabled:
+            self.tracer.record(self.scheduler.now, TraceKind.INGRESS, packet, node=host)
         self.transmit(host, attachment, packet)
 
     def inject_at_switch(self, switch: str, packet: Packet) -> None:
         """Hand ``packet`` directly to ``switch`` (saves the host hop)."""
         packet.created_at = self.scheduler.now
         packet.ingress_switch = switch
+        self._m_injected.inc()
+        if self.tracer.enabled:
+            self.tracer.record(self.scheduler.now, TraceKind.INGRESS, packet, node=switch)
         self._arrive(switch, packet)
 
     def inject_burst_at_switch(self, switch: str, packets: List[Packet]) -> None:
@@ -151,9 +176,13 @@ class SimNetwork:
         per-packet path with identical outcomes.
         """
         now = self.scheduler.now
+        self._m_injected.inc(len(packets))
+        tracer = self.tracer
         for packet in packets:
             packet.created_at = now
             packet.ingress_switch = switch
+            if tracer.enabled:
+                tracer.record(now, TraceKind.INGRESS, packet, node=switch)
         behaviour = self._nodes.get(switch)
         if behaviour is None:
             for packet in packets:
@@ -234,11 +263,17 @@ class SimNetwork:
         if distance == float("inf"):
             return
         self.control_messages_sent += 1
+        self._m_control.inc()
         self.scheduler.schedule(distance + CONTROL_OVERHEAD_S, handler, *args)
 
     # -- accounting -------------------------------------------------------------------
     def record_delivery(self, packet: Packet, endpoint: str) -> None:
         """Record a successful delivery at ``endpoint``."""
+        self._m_delivered.inc()
+        if self.tracer.enabled:
+            self.tracer.record(
+                self.scheduler.now, TraceKind.DELIVERED, packet, node=endpoint
+            )
         self.deliveries.append(
             DeliveryRecord(
                 packet_id=packet.packet_id,
@@ -256,6 +291,16 @@ class SimNetwork:
 
     def record_drop(self, packet: Packet, where: str, reason: str) -> None:
         """Record a packet loss at ``where``."""
+        bucket = attribute_reason(reason)
+        child = self._m_dropped.get(bucket)
+        if child is None:
+            child = self.metrics.counter("packets_dropped_total", reason=bucket)
+            self._m_dropped[bucket] = child
+        child.inc()
+        if self.tracer.enabled:
+            self.tracer.record(
+                self.scheduler.now, TraceKind.DROPPED, packet, node=where, detail=reason
+            )
         self.deliveries.append(
             DeliveryRecord(
                 packet_id=packet.packet_id,

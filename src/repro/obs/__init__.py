@@ -1,0 +1,61 @@
+"""Unified observability: metrics registry, packet tracing, profiling.
+
+The three planes DIFANE's evaluation needs, as one layer instead of
+five per-feature counter surfaces:
+
+* :mod:`repro.obs.registry` — labelled counters/gauges/histograms with
+  deterministic snapshots and an associative merge;
+* :mod:`repro.obs.trace` — ring-buffered packet-lifecycle span events
+  (ingress → cache-hit/redirect → authority → install → egress, plus
+  drop/degradation causes) with JSONL export;
+* :mod:`repro.obs.profile` — wall-time stage histograms around event
+  callbacks, engine lookups and channel sends;
+* :mod:`repro.obs.attribution` — the canonical drop-reason → bucket
+  mapping shared by the registry labels and the chaos experiments;
+* :mod:`repro.obs.context` — the per-run binding everything above hangs
+  off (``fresh_run_context()`` → run → ``snapshot()``).
+"""
+
+from repro.obs.attribution import DROP_ATTRIBUTION, attribute_drops, attribute_reason
+from repro.obs.context import (
+    RunContext,
+    current,
+    current_profiler,
+    current_registry,
+    current_tracer,
+    fresh_run_context,
+    install,
+)
+from repro.obs.profile import Profiler, STAGE_HISTOGRAM
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_METRIC,
+)
+from repro.obs.trace import PacketTracer, TraceEvent, TraceKind, records_like
+
+__all__ = [
+    "Counter",
+    "DROP_ATTRIBUTION",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_METRIC",
+    "PacketTracer",
+    "Profiler",
+    "RunContext",
+    "STAGE_HISTOGRAM",
+    "TraceEvent",
+    "TraceKind",
+    "attribute_drops",
+    "attribute_reason",
+    "current",
+    "current_profiler",
+    "current_registry",
+    "current_tracer",
+    "fresh_run_context",
+    "install",
+    "records_like",
+]

@@ -1,0 +1,73 @@
+"""Canonical drop-reason attribution.
+
+Every ``record_drop`` carries a free-form reason string (often with
+dynamic parts — ``"link loss s0->s1"``).  This module maps reasons onto
+a small, stable bucket vocabulary used both for the registry's
+``packets_dropped_total{reason=...}`` label (bounded cardinality) and
+for the chaos soak's loss-attribution table.
+
+Historically the table lived inside :mod:`repro.experiments.chaos` and
+missed ``"controller overloaded"`` — :class:`ServiceStation` queue
+drops at a saturated NOX controller were counted by the station but
+landed in *unattributed*, under-reporting overload loss.  Centralising
+the table here fixes that once for every consumer.
+"""
+
+from __future__ import annotations
+
+from collections import Counter as _Counter
+from typing import Dict, Iterable, List, Tuple
+
+__all__ = ["DROP_ATTRIBUTION", "attribute_reason", "attribute_drops"]
+
+#: Drop-reason prefixes → attribution buckets, first match wins.
+#: Anything that lands in no bucket is *unattributed* — chaos soaks
+#: target zero of those.
+DROP_ATTRIBUTION: List[Tuple[str, str]] = [
+    ("link loss", "link-loss"),
+    ("unreachable", "black-hole"),
+    ("no link", "black-hole"),
+    ("no behaviour registered", "black-hole"),
+    ("authority unreachable", "black-hole"),
+    ("authority miss", "black-hole"),
+    ("policy drop", "policy-intent"),
+    ("no policy rule", "policy-intent"),
+    ("no matching rule", "policy-intent"),
+    ("no terminal action", "policy-intent"),
+    ("punt without controller", "policy-intent"),
+    ("control channel lost", "control-lost"),
+    ("authority overloaded", "overload"),
+    ("switch overloaded", "overload"),
+    ("controller overloaded", "overload"),
+]
+
+_cache: Dict[str, str] = {}
+
+
+def attribute_reason(reason: str) -> str:
+    """The attribution bucket for one drop-reason string.
+
+    Unknown reasons return ``"unattributed"``.  Results are memoised —
+    reasons repeat heavily (per-link strings are drawn from a finite
+    topology) so the prefix scan runs once per distinct string.
+    """
+    bucket = _cache.get(reason)
+    if bucket is None:
+        for prefix, name in DROP_ATTRIBUTION:
+            if reason.startswith(prefix):
+                bucket = name
+                break
+        else:
+            bucket = "unattributed"
+        _cache[reason] = bucket
+    return bucket
+
+
+def attribute_drops(records: Iterable) -> _Counter:
+    """Bucket every drop record by failure cause."""
+    buckets: _Counter = _Counter()
+    for record in records:
+        if record.delivered:
+            continue
+        buckets[attribute_reason(record.drop_reason or "")] += 1
+    return buckets

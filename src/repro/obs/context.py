@@ -1,0 +1,99 @@
+"""The process-wide observability run context.
+
+One experiment run = one :class:`RunContext`: a metrics registry, a
+packet tracer and a profiler that every component constructed during
+the run binds to by default (``SimNetwork``, ``ServiceStation``,
+``ControlChannel`` all resolve :func:`current` when not handed an
+explicit registry).  The CLI, the benchmark harness and the golden
+tests call :func:`fresh_run_context` before a run and snapshot after —
+that snapshot *is* the run's canonical metrics JSON.
+
+Explicit injection always wins: pass ``metrics=`` / ``tracer=`` to a
+component and the context is never consulted, which is how the
+overhead benchmark prices a fully disabled observer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.obs.profile import Profiler
+from repro.obs.registry import MetricsRegistry
+from repro.obs.trace import PacketTracer
+
+__all__ = [
+    "RunContext",
+    "current",
+    "current_registry",
+    "current_tracer",
+    "current_profiler",
+    "fresh_run_context",
+    "install",
+]
+
+
+@dataclass
+class RunContext:
+    """The observability surfaces of one run."""
+
+    metrics: MetricsRegistry
+    tracer: PacketTracer
+    profiler: Profiler
+
+
+def _default_context() -> RunContext:
+    metrics = MetricsRegistry()
+    return RunContext(
+        metrics=metrics,
+        tracer=PacketTracer(enabled=False),
+        profiler=Profiler(registry=metrics, enabled=False),
+    )
+
+
+_context: RunContext = _default_context()
+
+
+def current() -> RunContext:
+    """The active run context."""
+    return _context
+
+
+def current_registry() -> MetricsRegistry:
+    return _context.metrics
+
+
+def current_tracer() -> PacketTracer:
+    return _context.tracer
+
+
+def current_profiler() -> Profiler:
+    return _context.profiler
+
+
+def install(context: RunContext) -> RunContext:
+    """Make ``context`` the active run context; returns it."""
+    global _context
+    _context = context
+    return context
+
+
+def fresh_run_context(
+    metrics_enabled: bool = True,
+    trace: bool = False,
+    trace_capacity: int = 262_144,
+    profile: bool = False,
+) -> RunContext:
+    """Install (and return) a brand-new run context.
+
+    Components constructed *after* this call bind to the new surfaces;
+    components built earlier keep their old bindings — contexts isolate
+    runs, they do not rewire live objects.
+    """
+    metrics = MetricsRegistry(enabled=metrics_enabled)
+    return install(
+        RunContext(
+            metrics=metrics,
+            tracer=PacketTracer(capacity=trace_capacity, enabled=trace),
+            profiler=Profiler(registry=metrics, enabled=profile),
+        )
+    )

@@ -1,0 +1,304 @@
+"""The metrics registry: counters, gauges and histograms with labels.
+
+DIFANE's evaluation is counters all the way down — throughput, miss
+rate, redirect load, failover dips.  Before this layer every component
+kept private integers (switch hit counts, pipeline stats, channel ARQ
+counters, chaos drop attribution) and every experiment scraped them by
+hand.  The registry is the one place those surfaces report into, and
+its :meth:`MetricsRegistry.snapshot` is the canonical machine-readable
+result of a run — the golden-regression tests diff exactly that.
+
+Design constraints:
+
+* **cheap** — components bind label children once (at attach/connect
+  time) and the hot path is a single ``+=``;
+* **no-op when disabled** — a disabled registry hands out a shared null
+  metric whose operations do nothing, so benchmarks can price the
+  observer itself (see ``bench_perf_core``);
+* **mergeable** — :meth:`merged` combines registries associatively and
+  commutatively (counters add, gauges max, histograms add bucket-wise),
+  so multi-network experiments can fold their runs together.  The
+  hypothesis suite pins those algebraic properties.
+"""
+
+from __future__ import annotations
+
+import bisect
+import json
+from typing import Dict, Iterable, Optional, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_METRIC",
+    "DEFAULT_TIME_BUCKETS",
+]
+
+#: Exponential wall-time buckets (seconds): 1 µs … ~8 s.
+DEFAULT_TIME_BUCKETS = tuple(1e-6 * (2 ** i) for i in range(24))
+
+
+class _NullMetric:
+    """Shared do-nothing metric handed out by a disabled registry."""
+
+    __slots__ = ()
+
+    def inc(self, amount: float = 1) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+NULL_METRIC = _NullMetric()
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("value",)
+    kind = "counter"
+
+    def __init__(self):
+        self.value = 0
+
+    def inc(self, amount: float = 1) -> None:
+        self.value += amount
+
+    def export(self):
+        return self.value
+
+    def merge_from(self, other: "Counter") -> None:
+        self.value += other.value
+
+
+class Gauge:
+    """A point-in-time level (queue depth, TCAM occupancy)."""
+
+    __slots__ = ("value",)
+    kind = "gauge"
+
+    def __init__(self):
+        self.value = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1) -> None:
+        self.value += amount
+
+    def export(self):
+        return self.value
+
+    def merge_from(self, other: "Gauge") -> None:
+        # max is associative and commutative; "highest level seen by any
+        # constituent run" is the useful cross-run semantics for levels.
+        self.value = max(self.value, other.value)
+
+
+class Histogram:
+    """A fixed-bucket histogram with exact min/max/sum/count.
+
+    Quantile estimates interpolate within the winning bucket and are
+    clamped to the observed ``[min, max]`` — so any quantile of a
+    non-empty histogram is bounded by its samples (a property the
+    hypothesis suite pins).
+    """
+
+    __slots__ = ("bounds", "bucket_counts", "count", "total", "min", "max")
+    kind = "histogram"
+
+    def __init__(self, bounds: Tuple[float, ...] = DEFAULT_TIME_BUCKETS):
+        self.bounds = tuple(bounds)
+        self.bucket_counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        self.bucket_counts[bisect.bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    def quantile(self, q: float) -> Optional[float]:
+        """Estimated ``q``-quantile, clamped to the observed range."""
+        if self.count == 0:
+            return None
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        rank = q * (self.count - 1)
+        cumulative = 0
+        for index, bucket_count in enumerate(self.bucket_counts):
+            cumulative += bucket_count
+            if cumulative > rank:
+                lower = self.bounds[index - 1] if index > 0 else self.min
+                upper = (
+                    self.bounds[index] if index < len(self.bounds) else self.max
+                )
+                estimate = upper if upper is not None else lower
+                break
+        else:  # pragma: no cover - cumulative always reaches count
+            estimate = self.max
+        return min(max(estimate, self.min), self.max)
+
+    def export(self):
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "buckets": {
+                ("+inf" if index == len(self.bounds) else repr(self.bounds[index])): c
+                for index, c in enumerate(self.bucket_counts)
+                if c
+            },
+        }
+
+    def merge_from(self, other: "Histogram") -> None:
+        if other.bounds != self.bounds:
+            raise ValueError("cannot merge histograms with different buckets")
+        for index, bucket_count in enumerate(other.bucket_counts):
+            self.bucket_counts[index] += bucket_count
+        self.count += other.count
+        self.total += other.total
+        if other.min is not None:
+            self.min = other.min if self.min is None else min(self.min, other.min)
+        if other.max is not None:
+            self.max = other.max if self.max is None else max(self.max, other.max)
+
+
+_LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Dict[str, object]) -> _LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _render_key(name: str, label_key: _LabelKey) -> str:
+    if not label_key:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in label_key)
+    return f"{name}{{{inner}}}"
+
+
+class MetricsRegistry:
+    """One run's metric namespace.
+
+    ``counter``/``gauge``/``histogram`` return the live child bound to
+    the given labels — hold on to it and mutate it directly (the hot
+    path never re-resolves names).  A disabled registry returns
+    :data:`NULL_METRIC` from every accessor and snapshots to emptiness.
+    """
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._metrics: Dict[Tuple[str, str, _LabelKey], object] = {}
+
+    # -- accessors ------------------------------------------------------------
+    def counter(self, name: str, **labels) -> Counter:
+        return self._get("counter", Counter, name, labels)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        return self._get("gauge", Gauge, name, labels)
+
+    def histogram(
+        self, name: str, bounds: Tuple[float, ...] = DEFAULT_TIME_BUCKETS, **labels
+    ) -> Histogram:
+        return self._get("histogram", lambda: Histogram(bounds), name, labels)
+
+    def _get(self, kind, factory, name, labels):
+        if not self.enabled:
+            return NULL_METRIC
+        key = (kind, name, _label_key(labels))
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = factory()
+            self._metrics[key] = metric
+        return metric
+
+    def value(self, name: str, **labels):
+        """The exported value of one metric, or ``None`` when absent."""
+        for kind in ("counter", "gauge", "histogram"):
+            metric = self._metrics.get((kind, name, _label_key(labels)))
+            if metric is not None:
+                return metric.export()
+        return None
+
+    def sum_counters(self, name: str) -> float:
+        """Sum of every label child of counter ``name``."""
+        return sum(
+            metric.value
+            for (kind, metric_name, _), metric in self._metrics.items()
+            if kind == "counter" and metric_name == name
+        )
+
+    # -- lifecycle ------------------------------------------------------------
+    def reset(self) -> None:
+        """Forget every metric (children previously handed out go stale)."""
+        self._metrics.clear()
+
+    # -- export ---------------------------------------------------------------
+    def snapshot(self, exclude_prefixes: Iterable[str] = ()) -> Dict[str, Dict[str, object]]:
+        """A deterministic, JSON-safe dump of every metric.
+
+        ``exclude_prefixes`` filters metric *names* (golden tests strip
+        wall-clock ``profile_`` histograms, which are not reproducible).
+        """
+        exclude = tuple(exclude_prefixes)
+        out: Dict[str, Dict[str, object]] = {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }
+        for (kind, name, label_key), metric in self._metrics.items():
+            if exclude and name.startswith(exclude):
+                continue
+            out[kind + "s"][_render_key(name, label_key)] = metric.export()
+        for kind in out:
+            out[kind] = dict(sorted(out[kind].items()))
+        return out
+
+    def write_json(self, path, **extra) -> None:
+        """Persist :meth:`snapshot` (plus ``extra`` top-level keys)."""
+        document = dict(extra)
+        document["metrics"] = self.snapshot()
+        with open(path, "w") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    # -- merging --------------------------------------------------------------
+    def merge_from(self, other: "MetricsRegistry") -> "MetricsRegistry":
+        """Fold ``other``'s metrics into this registry (in place)."""
+        for key, metric in other._metrics.items():
+            kind, name, label_key = key
+            mine = self._metrics.get(key)
+            if mine is None:
+                mine = type(metric)() if kind != "histogram" else Histogram(metric.bounds)
+                self._metrics[key] = mine
+            mine.merge_from(metric)
+        return self
+
+    @classmethod
+    def merged(cls, *registries: "MetricsRegistry") -> "MetricsRegistry":
+        """A new registry holding the fold of ``registries``."""
+        result = cls()
+        for registry in registries:
+            result.merge_from(registry)
+        return result
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __repr__(self) -> str:
+        state = "enabled" if self.enabled else "disabled"
+        return f"<MetricsRegistry {state} {len(self._metrics)} metrics>"

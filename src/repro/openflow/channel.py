@@ -30,10 +30,12 @@ faulty channel must not rely on ordering.
 from __future__ import annotations
 
 import random
+import time as _time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.net.events import EventScheduler, ScheduledEvent
+from repro.obs import context as _obs_context
 from repro.openflow.messages import Message
 
 __all__ = ["ControlChannel", "ChannelFaultModel"]
@@ -139,6 +141,7 @@ class ControlChannel:
         max_retries: Optional[int] = 8,
         backoff_factor: float = 2.0,
         backoff_cap_s: float = 0.5,
+        metrics=None,
     ):
         self.scheduler = scheduler
         self.switch_name = switch_name
@@ -173,17 +176,39 @@ class ControlChannel:
         self.duplicates_down = 0
         self.lost_up = 0
         self.lost_down = 0
+        # Mirror the breakdown into the run's registry (aggregated over
+        # channels: no switch label, matching control_plane_counters()).
+        registry = metrics if metrics is not None else _obs_context.current_registry()
+        self._profiler = _obs_context.current_profiler()
+        self._m = {
+            (direction, event): registry.counter(
+                "control_channel_events_total", direction=direction, event=event
+            )
+            for direction in ("up", "down")
+            for event in ("attempted", "delivered", "retry", "duplicate", "lost")
+        }
 
     # -- public API -----------------------------------------------------------
     def send_to_controller(self, message: Message, reliable: Optional[bool] = None) -> None:
         """Switch-side send; arrives at the controller after the latency."""
         self.messages_up += 1
-        self._send("up", message, self.reliable if reliable is None else reliable)
+        self._m[("up", "attempted")].inc()
+        self._timed_send("up", message, self.reliable if reliable is None else reliable)
 
     def send_to_switch(self, message: Message, reliable: Optional[bool] = None) -> None:
         """Controller-side send; arrives at the switch after the latency."""
         self.messages_down += 1
-        self._send("down", message, self.reliable if reliable is None else reliable)
+        self._m[("down", "attempted")].inc()
+        self._timed_send("down", message, self.reliable if reliable is None else reliable)
+
+    def _timed_send(self, direction: str, message: Message, reliable: bool) -> None:
+        profiler = self._profiler
+        if profiler is not None and profiler.enabled:
+            started = _time.perf_counter()
+            self._send(direction, message, reliable)
+            profiler.observe("channel-send", _time.perf_counter() - started)
+        else:
+            self._send(direction, message, reliable)
 
     def counters(self) -> Dict[str, int]:
         """The attempted/delivered/retry/duplicate/lost breakdown."""
@@ -247,7 +272,14 @@ class ControlChannel:
             self.retries_up += 1
         else:
             self.retries_down += 1
-        self._transmit(direction, seq, pending)
+        self._m[(direction, "retry")].inc()
+        profiler = self._profiler
+        if profiler is not None and profiler.enabled:
+            started = _time.perf_counter()
+            self._transmit(direction, seq, pending)
+            profiler.observe("channel-retransmit", _time.perf_counter() - started)
+        else:
+            self._transmit(direction, seq, pending)
 
     def _deliver_reliable(self, direction: str, seq: int, message: Message) -> None:
         # Ack every reception — the sender may have missed the previous ack.
@@ -260,6 +292,7 @@ class ControlChannel:
                 self.duplicates_up += 1
             else:
                 self.duplicates_down += 1
+            self._m[(direction, "duplicate")].inc()
             return
         seen.add(seq)
         self._hand_over(direction, message)
@@ -273,6 +306,7 @@ class ControlChannel:
         self._hand_over(direction, message)
 
     def _hand_over(self, direction: str, message: Message) -> None:
+        self._m[(direction, "delivered")].inc()
         if direction == "up":
             self.delivered_up += 1
             self._to_controller(message)
@@ -281,6 +315,7 @@ class ControlChannel:
             self._to_switch(message)
 
     def _count_lost(self, direction: str, message: Message) -> None:
+        self._m[(direction, "lost")].inc()
         if direction == "up":
             self.lost_up += 1
         else:

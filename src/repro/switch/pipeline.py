@@ -18,6 +18,7 @@ stage ordering dominates priority.
 
 from __future__ import annotations
 
+import time as _time
 from dataclasses import dataclass
 from enum import Enum
 from typing import List, Optional, Sequence
@@ -87,19 +88,51 @@ class DifanePipeline:
         self.authority = Tcam(layout, authority_capacity, engine=engine)
         self.partition = Tcam(layout, partition_capacity, engine=engine)
         self.misses = 0
+        # Observability: bound at attach time (the network, and hence
+        # the run's registry, is unknown at construction).  Until then
+        # the stage counters are absent and lookups cost nothing extra.
+        self._m_stage: Optional[dict] = None
+        self._profiler = None
+
+    def bind_observability(self, metrics, profiler=None) -> None:
+        """Register per-stage lookup counters (and optional wall-time
+        profiling of the engine lookup) into ``metrics``."""
+        self._m_stage = {
+            stage: metrics.counter("pipeline_lookups_total", stage=stage.value)
+            for stage in PipelineStage
+        }
+        self._profiler = profiler
 
     def lookup(self, packet: Packet, now: Optional[float] = None) -> LookupResult:
         """Match ``packet`` through the stages in DIFANE order."""
+        profiler = self._profiler
+        if profiler is not None and profiler.enabled:
+            started = _time.perf_counter()
+            result = self._lookup(packet, now)
+            profiler.observe("pipeline-lookup", _time.perf_counter() - started)
+            return result
+        return self._lookup(packet, now)
+
+    def _lookup(self, packet: Packet, now: Optional[float]) -> LookupResult:
+        stages = self._m_stage
         rule = self.cache.lookup(packet, now)
         if rule is not None:
+            if stages is not None:
+                stages[PipelineStage.CACHE].inc()
             return LookupResult(rule, PipelineStage.CACHE)
         rule = self.authority.lookup(packet, now)
         if rule is not None:
+            if stages is not None:
+                stages[PipelineStage.AUTHORITY].inc()
             return LookupResult(rule, PipelineStage.AUTHORITY)
         rule = self.partition.lookup(packet, now)
         if rule is not None:
+            if stages is not None:
+                stages[PipelineStage.PARTITION].inc()
             return LookupResult(rule, PipelineStage.PARTITION)
         self.misses += 1
+        if stages is not None:
+            stages[PipelineStage.MISS].inc()
         return LookupResult(None, PipelineStage.MISS)
 
     def lookup_batch(
@@ -114,6 +147,7 @@ class DifanePipeline:
         """
         results: List[Optional[LookupResult]] = [None] * len(packets)
         pending = list(range(len(packets)))
+        stages = self._m_stage
         for tcam, stage in (
             (self.cache, PipelineStage.CACHE),
             (self.authority, PipelineStage.AUTHORITY),
@@ -127,12 +161,16 @@ class DifanePipeline:
             for index, winner in zip(pending, winners):
                 if winner is not None:
                     results[index] = LookupResult(winner, stage)
+                    if stages is not None:
+                        stages[stage].inc()
                 else:
                     still_pending.append(index)
             pending = still_pending
         for index in pending:
             self.misses += 1
             results[index] = LookupResult(None, PipelineStage.MISS)
+        if stages is not None and pending:
+            stages[PipelineStage.MISS].inc(len(pending))
         return results
 
     def install(self, rule: Rule, now: Optional[float] = None, **kwargs) -> Rule:

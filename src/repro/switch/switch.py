@@ -24,6 +24,7 @@ from typing import Optional
 from repro.flowspace.action import ActionList, Drop, Encapsulate, Forward, SendToController, SetField
 from repro.flowspace.packet import Packet
 from repro.net.events import ServiceStation
+from repro.obs.registry import NULL_METRIC
 
 __all__ = ["DataPlaneSwitch"]
 
@@ -64,11 +65,26 @@ class DataPlaneSwitch:
         self._station: Optional[ServiceStation] = None
         self.packets_seen = 0
         self.packets_dropped_overload = 0
+        # Null until attach() binds real registry children — keeps
+        # directly-driven switches (no network) working in tests.
+        self._m_seen = NULL_METRIC
+        self._m_queue_drops = NULL_METRIC
 
     # -- SimNetwork protocol ------------------------------------------------------
     def attach(self, network) -> None:
         """Called by ``SimNetwork.register_node``; wires the capacity queue."""
         self.network = network
+        # Bind per-switch metric children into the network's registry
+        # (the hot path then pays one += per packet, nothing more).
+        self._m_seen = network.metrics.counter(
+            "switch_packets_seen_total", switch=self.name
+        )
+        self._m_queue_drops = network.metrics.counter(
+            "switch_queue_drops_total", switch=self.name
+        )
+        pipeline = getattr(self, "pipeline", None)
+        if pipeline is not None:
+            pipeline.bind_observability(network.metrics, network.profiler)
         if self.processing_rate is not None:
             self._station = ServiceStation(
                 network.scheduler,
@@ -77,11 +93,13 @@ class DataPlaneSwitch:
                 queue_limit=self.queue_limit,
                 on_drop=self._overloaded,
                 name=f"{self.name}.lookup",
+                metrics=network.metrics,
             )
 
     def handle_packet(self, network, packet: Packet) -> None:
         """Entry point from the network; respects the processing budget."""
         self.packets_seen += 1
+        self._m_seen.inc()
         if self.forwarding_delay_s > 0:
             network.scheduler.schedule(self.forwarding_delay_s, self._enqueue, packet)
         else:
@@ -101,6 +119,7 @@ class DataPlaneSwitch:
                 self.handle_packet(network, packet)
             return
         self.packets_seen += len(packets)
+        self._m_seen.inc(len(packets))
         self.process_batch(list(packets))
 
     def _enqueue(self, packet: Packet) -> None:
@@ -114,6 +133,7 @@ class DataPlaneSwitch:
 
     def _overloaded(self, packet: Packet) -> None:
         self.packets_dropped_overload += 1
+        self._m_queue_drops.inc()
         self.network.record_drop(packet, self.name, "switch overloaded")
 
     # -- behaviour hook --------------------------------------------------------------

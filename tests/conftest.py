@@ -17,6 +17,22 @@ from repro.flowspace import (
 )
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-goldens",
+        action="store_true",
+        default=False,
+        help="rewrite tests/goldens/*.json from the current run instead "
+             "of diffing against them",
+    )
+
+
+@pytest.fixture
+def update_goldens(request):
+    """True when the run should rewrite the golden metrics documents."""
+    return request.config.getoption("--update-goldens")
+
+
 @pytest.fixture
 def rng():
     """A deterministic RNG."""

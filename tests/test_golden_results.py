@@ -1,0 +1,97 @@
+"""Golden-regression tests: cheap experiment configs vs checked-in metrics.
+
+Each test re-runs a scaled-down configuration of one experiment inside a
+fresh observability context, builds the canonical metrics document
+(:func:`repro.experiments.common.metrics_document`), and diffs it —
+verbatim, after a JSON round-trip — against ``tests/goldens/``.  Any
+behavioural drift in the simulator (delivery counts, drop attribution,
+pipeline stage mix, control-channel retries) shows up as a golden diff
+instead of a silent change.
+
+Refresh the goldens deliberately with::
+
+    PYTHONPATH=src python -m pytest tests/test_golden_results.py --update-goldens
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+from repro.experiments.common import metrics_document
+from repro.obs import context as obs_context
+from repro.obs import fresh_run_context
+
+GOLDENS_DIR = pathlib.Path(__file__).parent / "goldens"
+
+
+@pytest.fixture
+def run_context():
+    """A fresh observability context, restored to the previous one after."""
+    previous = obs_context.current()
+    context = fresh_run_context(trace=True)
+    yield context
+    obs_context.install(previous)
+
+
+def _golden_check(result, context, update: bool) -> None:
+    document = json.loads(json.dumps(metrics_document(result, context=context)))
+    path = GOLDENS_DIR / f"{result.name}-metrics.json"
+    if update:
+        GOLDENS_DIR.mkdir(exist_ok=True)
+        path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+        pytest.skip(f"golden rewritten: {path.name}")
+    assert path.exists(), (
+        f"missing golden {path}; run with --update-goldens to create it"
+    )
+    golden = json.loads(path.read_text())
+    assert document == golden, (
+        f"metrics document for {result.name} drifted from {path.name}; "
+        "if the change is intentional, refresh with --update-goldens"
+    )
+
+
+def _run_a6():
+    from repro.experiments.failover import run_failover_transient
+
+    return run_failover_transient(rate=1_500.0, duration=0.3, failure_time=0.15)
+
+
+def _run_c1():
+    from repro.experiments.chaos import run_chaos_soak
+
+    return run_chaos_soak(rate=800.0, duration=0.3)
+
+
+def _run_e4():
+    from repro.experiments.delay import run_delay
+
+    return run_delay(flows=40)
+
+
+@pytest.mark.parametrize(
+    "runner",
+    [_run_a6, _run_c1, _run_e4],
+    ids=["A6-failover-transient", "C1-chaos-soak", "E4-delay"],
+)
+def test_golden_metrics(runner, run_context, update_goldens):
+    result = runner()
+    _golden_check(result, run_context, update_goldens)
+
+
+def test_golden_runs_are_deterministic():
+    """The premise of golden testing: two identical runs, identical docs."""
+    documents = []
+    previous = obs_context.current()
+    try:
+        for _ in range(2):
+            context = fresh_run_context(trace=True)
+            result = _run_e4()
+            documents.append(
+                json.loads(json.dumps(metrics_document(result, context=context)))
+            )
+    finally:
+        obs_context.install(previous)
+    assert documents[0] == documents[1]
