@@ -12,8 +12,8 @@ from repro.experiments.ablations import (
 )
 
 
-def test_ablation_eviction_policy(benchmark, archive):
-    result = run_once(benchmark, run_eviction_ablation, flows=400)
+def test_ablation_eviction_policy(benchmark, archive, jobs):
+    result = run_once(benchmark, run_eviction_ablation, flows=400, jobs=jobs)
     archive(
         result.name,
         render_table(result.table_headers, result.table_rows, title=result.title),
@@ -23,8 +23,8 @@ def test_ablation_eviction_policy(benchmark, archive):
     assert all(rate > 0.1 for rate in rates.values())
 
 
-def test_ablation_prefetch(benchmark, archive):
-    result = run_once(benchmark, run_prefetch_ablation, flows=400)
+def test_ablation_prefetch(benchmark, archive, jobs):
+    result = run_once(benchmark, run_prefetch_ablation, flows=400, jobs=jobs)
     archive(
         result.name,
         render_table(result.table_headers, result.table_rows, title=result.title),
@@ -36,8 +36,8 @@ def test_ablation_prefetch(benchmark, archive):
     assert installs.y[-1] > installs.y[0]
 
 
-def test_ablation_zipf_sensitivity(benchmark, archive):
-    result = run_once(benchmark, run_zipf_sensitivity)
+def test_ablation_zipf_sensitivity(benchmark, archive, jobs):
+    result = run_once(benchmark, run_zipf_sensitivity, jobs=jobs)
     archive(
         result.name,
         render_table(result.table_headers, result.table_rows, title=result.title),

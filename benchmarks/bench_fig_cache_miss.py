@@ -12,7 +12,7 @@ from repro.flowspace.fields import FIVE_TUPLE_LAYOUT
 from repro.workloads.classbench import generate_classbench
 
 
-def test_fig_cache_miss_rate(benchmark, archive):
+def test_fig_cache_miss_rate(benchmark, archive, jobs):
     policy = generate_classbench("acl", count=2000, seed=3, layout=FIVE_TUPLE_LAYOUT)
     result = run_once(
         benchmark,
@@ -22,6 +22,7 @@ def test_fig_cache_miss_rate(benchmark, archive):
         n_flows=4000,
         n_packets=40_000,
         zipf_alpha=1.0,
+        jobs=jobs,
     )
     archive(
         result.name,

@@ -10,8 +10,8 @@ from repro.analysis.report import render_table
 from repro.experiments.delay import run_delay
 
 
-def test_fig_first_packet_delay(benchmark, archive):
-    result = run_once(benchmark, run_delay, flows=300)
+def test_fig_first_packet_delay(benchmark, archive, jobs):
+    result = run_once(benchmark, run_delay, flows=300, jobs=jobs)
     archive(
         result.name,
         render_table(result.table_headers, result.table_rows, title=result.title),

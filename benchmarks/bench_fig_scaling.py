@@ -10,13 +10,14 @@ from repro.analysis.report import render_series_table
 from repro.experiments.scaling import run_scaling
 
 
-def test_fig_scaling_with_authority_switches(benchmark, archive):
+def test_fig_scaling_with_authority_switches(benchmark, archive, jobs):
     result = run_once(
         benchmark,
         run_scaling,
         authority_counts=[1, 2, 3, 4],
         flows_per_point=1200,
         scale=0.01,
+        jobs=jobs,
     )
     archive(result.name, render_series_table(result.series, title=result.title))
 

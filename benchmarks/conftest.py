@@ -4,39 +4,80 @@ Each benchmark regenerates one of the paper's tables/figures, times the
 run via pytest-benchmark (one round — these are experiments, not
 microbenchmarks), prints the rows/series, and archives them under
 ``benchmarks/results/`` so EXPERIMENTS.md can reference a stable copy.
+
+Every archived JSON embeds the host's provenance (CPU model, core
+count, interpreter, worker count), because wall-clock numbers — and the
+speedups the parallel benchmarks gate on — are meaningless without the
+hardware they were measured on.
+
+Parallelism knobs: ``--repro-jobs N`` (or the ``REPRO_JOBS`` env var)
+fans experiment sweeps out over N worker processes; ``--repro-cache-dir``
+points the workload artifact cache at a disk directory shared across
+runs.
 """
 
 from __future__ import annotations
 
+import os
 import pathlib
 
 import pytest
 
 from repro.obs import context as obs_context
 from repro.obs import fresh_run_context
+from repro.parallel import configure_artifact_cache, host_provenance
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--repro-jobs", type=int,
+        default=int(os.environ.get("REPRO_JOBS", "1")),
+        help="worker processes for experiment sweeps (0 = all cores); "
+             "archived output is identical whatever the value",
+    )
+    parser.addoption(
+        "--repro-cache-dir", default=os.environ.get("REPRO_CACHE_DIR"),
+        help="directory for the on-disk workload artifact cache "
+             "(unset = in-memory only)",
+    )
+
+
 @pytest.fixture
-def archive():
+def jobs(request):
+    """Worker-process count for sweeps (from --repro-jobs / REPRO_JOBS)."""
+    return request.config.getoption("--repro-jobs")
+
+
+@pytest.fixture(autouse=True)
+def _artifact_cache_dir(request):
+    """Point the process-wide artifact cache at --repro-cache-dir."""
+    cache_dir = request.config.getoption("--repro-cache-dir")
+    if cache_dir:
+        configure_artifact_cache(cache_dir)
+
+
+@pytest.fixture
+def archive(request):
     """Return a writer: archive(name, text) prints and persists the text.
 
     The fixture installs a fresh observability context before the bench
     body runs, so every network the bench builds reports into one
     registry; the writer persists that registry as ``<name>-metrics.json``
-    next to the text archive.
+    next to the text archive, stamped with the host's provenance.
     """
     RESULTS_DIR.mkdir(exist_ok=True)
     previous = obs_context.current()
     context = fresh_run_context()
+    provenance = host_provenance(jobs=request.config.getoption("--repro-jobs"))
 
     def write(name: str, text: str) -> None:
         print()
         print(text)
         (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
         context.metrics.write_json(
-            RESULTS_DIR / f"{name}-metrics.json", name=name
+            RESULTS_DIR / f"{name}-metrics.json", name=name, host=provenance
         )
 
     yield write

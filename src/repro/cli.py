@@ -26,36 +26,38 @@ from repro.analysis.report import render_series_table, render_table
 from repro.experiments.common import ExperimentResult, metrics_document
 from repro.flowspace.engine import ENGINE_CHOICES, set_default_engine
 from repro.obs import fresh_run_context
+from repro.parallel.cache import DEFAULT_CACHE_DIR, configure_artifact_cache
 
 __all__ = ["main"]
 
 
-def _e1(quick: bool) -> ExperimentResult:
+def _e1(quick: bool, jobs=None) -> ExperimentResult:
     from repro.experiments.partitioning import default_policies
     from repro.experiments.policies import run_policy_table
     return run_policy_table(default_policies(scale=1 if quick else 2))
 
 
-def _e2(quick: bool) -> ExperimentResult:
+def _e2(quick: bool, jobs=None) -> ExperimentResult:
     from repro.experiments.throughput import run_throughput
     rates = [25e3, 200e3, 1.2e6] if quick else None
     return run_throughput(rates=rates, flows_per_point=400 if quick else 1500)
 
 
-def _e3(quick: bool) -> ExperimentResult:
+def _e3(quick: bool, jobs=None) -> ExperimentResult:
     from repro.experiments.scaling import run_scaling
     return run_scaling(
         authority_counts=[1, 2] if quick else [1, 2, 3, 4],
         flows_per_point=500 if quick else 1200,
+        jobs=jobs,
     )
 
 
-def _e4(quick: bool) -> ExperimentResult:
+def _e4(quick: bool, jobs=None) -> ExperimentResult:
     from repro.experiments.delay import run_delay
-    return run_delay(flows=60 if quick else 300)
+    return run_delay(flows=60 if quick else 300, jobs=jobs)
 
 
-def _e5(quick: bool) -> ExperimentResult:
+def _e5(quick: bool, jobs=None) -> ExperimentResult:
     from repro.experiments.partitioning import default_policies, run_partition_tcam
     return run_partition_tcam(
         partition_counts=[1, 4, 16] if quick else None,
@@ -63,7 +65,7 @@ def _e5(quick: bool) -> ExperimentResult:
     )
 
 
-def _e6(quick: bool) -> ExperimentResult:
+def _e6(quick: bool, jobs=None) -> ExperimentResult:
     from repro.experiments.partitioning import default_policies, run_partition_overhead
     return run_partition_overhead(
         partition_counts=[1, 4, 16] if quick else None,
@@ -71,28 +73,29 @@ def _e6(quick: bool) -> ExperimentResult:
     )
 
 
-def _e7(quick: bool) -> ExperimentResult:
+def _e7(quick: bool, jobs=None) -> ExperimentResult:
     from repro.experiments.caching import run_cache_miss
     if quick:
-        return run_cache_miss(cache_sizes=[10, 50, 200], n_flows=500, n_packets=5000)
-    return run_cache_miss()
+        return run_cache_miss(cache_sizes=[10, 50, 200], n_flows=500,
+                              n_packets=5000, jobs=jobs)
+    return run_cache_miss(jobs=jobs)
 
 
-def _e8(quick: bool) -> ExperimentResult:
+def _e8(quick: bool, jobs=None) -> ExperimentResult:
     from repro.experiments.stretch import run_stretch
     return run_stretch(
         switch_count=16 if quick else 32, flows=200 if quick else 800
     )
 
 
-def _e9(quick: bool) -> ExperimentResult:
+def _e9(quick: bool, jobs=None) -> ExperimentResult:
     from repro.experiments.dynamics import run_dynamics
     return run_dynamics(
         churn_steps=15 if quick else 60, warm_flows=60 if quick else 200
     )
 
 
-def _e10(quick: bool) -> ExperimentResult:
+def _e10(quick: bool, jobs=None) -> ExperimentResult:
     from repro.experiments.partitioning import run_cut_ablation
     return run_cut_ablation(partition_counts=[4, 16] if quick else None)
 
@@ -101,7 +104,9 @@ def _e10(quick: bool) -> ExperimentResult:
 CHAOS_OPTIONS: Dict[str, float] = {}
 
 
-def _c1(quick: bool) -> ExperimentResult:
+def _c1(quick: bool, jobs=None) -> ExperimentResult:
+    # One soak is a single simulation — nothing to fan out; replicate
+    # sweeps go through ``run_chaos_replicates`` (which does take jobs).
     from repro.experiments.chaos import run_chaos_soak
     kwargs = dict(CHAOS_OPTIONS)
     if quick:
@@ -110,7 +115,7 @@ def _c1(quick: bool) -> ExperimentResult:
     return run_chaos_soak(**kwargs)
 
 
-EXPERIMENTS: Dict[str, Tuple[str, Callable[[bool], ExperimentResult]]] = {
+EXPERIMENTS: Dict[str, Tuple[str, Callable[..., ExperimentResult]]] = {
     "E1": ("Table 1: evaluated policies", _e1),
     "E2": ("Fig: setup throughput, DIFANE vs NOX", _e2),
     "E3": ("Fig: throughput scaling with authority switches", _e3),
@@ -162,6 +167,15 @@ def main(argv=None) -> int:
     run.add_argument("--engine", choices=ENGINE_CHOICES, default=None,
                      help="match-engine backend for every classifier "
                           "(default: linear)")
+    run.add_argument("--jobs", type=int, default=None, metavar="N",
+                     help="fan sweep points out over N worker processes "
+                          "(0 = all cores); output is identical to a "
+                          "serial run")
+    run.add_argument("--cache-dir", nargs="?", const=DEFAULT_CACHE_DIR,
+                     default=None, metavar="DIR",
+                     help="cache generated workload artifacts on disk "
+                          f"(default dir when flag given bare: "
+                          f"{DEFAULT_CACHE_DIR})")
     run.add_argument("--chaos-seed", type=int, default=None, metavar="N",
                      help="C1: seed for the randomized fault schedule")
     run.add_argument("--loss", type=float, default=None, metavar="P",
@@ -208,6 +222,15 @@ def main(argv=None) -> int:
     if args.heartbeat_interval is not None:
         CHAOS_OPTIONS["heartbeat_interval_s"] = args.heartbeat_interval
 
+    if args.cache_dir is not None:
+        configure_artifact_cache(args.cache_dir)
+    if args.trace_out and args.jobs and args.jobs != 1:
+        # Trace events live in the run context's ring buffer, which does
+        # not cross the worker-pool boundary; the sweep runner would fall
+        # back to serial anyway, so say so rather than silently ignoring.
+        print("note: --trace-out forces serial execution; ignoring --jobs",
+              file=sys.stderr)
+
     documents: Dict[str, dict] = {}
     trace_handle = open(args.trace_out, "w") if args.trace_out else None
     try:
@@ -220,7 +243,7 @@ def main(argv=None) -> int:
                 trace=trace_handle is not None, profile=args.profile
             )
             started = time.time()
-            result = runner(args.quick)
+            result = runner(args.quick, args.jobs)
             _print_result(result, plot=not args.no_plot)
             print(f"({key} took {time.time() - started:.1f}s)")
             if args.metrics_out:

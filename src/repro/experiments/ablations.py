@@ -28,7 +28,7 @@ from repro.net.topology import TopologyBuilder
 from repro.switch.cache import EvictionPolicy
 from repro.workloads.classbench import generate_classbench
 from repro.workloads.policies import routing_policy_for_topology
-from repro.workloads.traffic import flow_headers_for_policy, host_pair_packets, packet_sequence
+from repro.workloads.traffic import flow_headers_for_policy, host_pair_packets
 
 __all__ = [
     "run_eviction_ablation",
@@ -59,31 +59,46 @@ def _zipfish_traffic(topo, host_ips, flows: int, packets_per_flow: int, seed: in
     return base
 
 
+def _eviction_point(
+    policy: EvictionPolicy, cache_capacity: int, flows: int, seed: int
+):
+    """One sweep point: hit rate and evictions under one eviction policy."""
+    topo, rules, host_ips = _campus_world(seed)
+    dn = DifaneNetwork.build(
+        topo, rules, LAYOUT, authority_count=3,
+        cache_capacity=cache_capacity, redirect_rate=None, eviction=policy,
+    )
+    for timed in _zipfish_traffic(topo, host_ips, flows, 3, seed + 1):
+        dn.send_at(timed.time, timed.source_host, timed.packet)
+    dn.run()
+    return dn.cache_hit_rate(), sum(s.cache.evicted for s in dn.switches())
+
+
 def run_eviction_ablation(
     cache_capacity: int = 12,
     flows: int = 400,
     seed: int = 31,
+    jobs: Optional[int] = None,
 ) -> ExperimentResult:
     """Cache hit rate per eviction policy on a live campus deployment.
 
     The cache is deliberately undersized (``cache_capacity`` entries per
     switch) so eviction decisions matter.
     """
+    from repro.parallel.runner import SweepRunner
+
+    policies = (EvictionPolicy.LRU, EvictionPolicy.FIFO, EvictionPolicy.RANDOM)
+    results = SweepRunner(jobs).map(
+        _eviction_point,
+        [
+            dict(policy=policy, cache_capacity=cache_capacity,
+                 flows=flows, seed=seed)
+            for policy in policies
+        ],
+    )
     rows = []
     series = Series("cache hit rate", x_label="policy index", y_label="hit rate")
-    for index, policy in enumerate(
-        (EvictionPolicy.LRU, EvictionPolicy.FIFO, EvictionPolicy.RANDOM)
-    ):
-        topo, rules, host_ips = _campus_world(seed)
-        dn = DifaneNetwork.build(
-            topo, rules, LAYOUT, authority_count=3,
-            cache_capacity=cache_capacity, redirect_rate=None, eviction=policy,
-        )
-        for timed in _zipfish_traffic(topo, host_ips, flows, 3, seed + 1):
-            dn.send_at(timed.time, timed.source_host, timed.packet)
-        dn.run()
-        hit_rate = dn.cache_hit_rate()
-        evictions = sum(s.cache.evicted for s in dn.switches())
+    for index, (policy, (hit_rate, evictions)) in enumerate(zip(policies, results)):
         rows.append([policy.value, f"{hit_rate:.4f}", evictions])
         series.append(index, hit_rate)
     return ExperimentResult(
@@ -95,64 +110,77 @@ def run_eviction_ablation(
     )
 
 
+def _prefetch_point(level: int, flows: int, seed: int):
+    """One sweep point: redirect/install volume at one prefetch level."""
+    topo, rules, host_ips = _campus_world(seed)
+    dn = DifaneNetwork.build(
+        topo, rules, LAYOUT, authority_count=3, cache_capacity=512,
+        redirect_rate=None, prefetch_fragments=level,
+    )
+    # Traffic clustered around the denied service ports: win-region
+    # fragments are tiny there, so flows of one (ingress, destination)
+    # pair land in *different* fragments — the case where prefetching
+    # siblings can convert future redirects into cache hits.
+    rng = random.Random(seed + 2)
+    hosts = sorted(host_ips)
+    # Destinations must actually have port denies, else their win
+    # regions are single fragments and prefetch is vacuous.
+    denied_ips = {
+        rule.match.field("nw_dst").value
+        for rule in rules
+        if rule.actions.is_drop and not rule.match.ternary.is_wildcard()
+    }
+    destinations = [h for h in hosts if host_ips[h] in denied_ips][:3]
+    if not destinations:
+        destinations = hosts[:3]
+    services = [22, 445, 3306, 23, 161]
+    from repro.flowspace.packet import Packet
+    for index in range(flows):
+        src = rng.choice(hosts)
+        dst = rng.choice(destinations)
+        port = max(1, rng.choice(services) + rng.randint(-8, 8))
+        packet = Packet.from_fields(
+            LAYOUT, flow_id=index,
+            nw_src=host_ips[src], nw_dst=host_ips[dst], nw_proto=6,
+            tp_src=rng.randint(1024, 65535),
+            tp_dst=port,
+        )
+        dn.send_at(index * 2.5e-4, src, packet)
+    dn.run()
+    total_redirects = dn.total_redirects()
+    total_installs = sum(s.cache_installs_sent for s in dn.switches())
+    return total_redirects, total_installs, dn.cache_hit_rate()
+
+
 def run_prefetch_ablation(
     prefetch_levels: Optional[Sequence[int]] = None,
     flows: int = 250,
     seed: int = 37,
+    jobs: Optional[int] = None,
 ) -> ExperimentResult:
     """Redirect count and install volume as prefetch grows.
 
     Prefetching sibling fragments converts future misses into hits at the
     cost of extra installs (and cache pressure).
     """
+    from repro.parallel.runner import SweepRunner
+
     prefetch_levels = list(prefetch_levels) if prefetch_levels else [1, 2, 4, 8]
     redirects = Series("redirects", x_label="prefetch fragments", y_label="count")
     installs = Series("cache installs", x_label="prefetch fragments", y_label="count")
     hit_rates = Series("hit rate", x_label="prefetch fragments", y_label="rate")
     rows = []
-    for level in prefetch_levels:
-        topo, rules, host_ips = _campus_world(seed)
-        dn = DifaneNetwork.build(
-            topo, rules, LAYOUT, authority_count=3, cache_capacity=512,
-            redirect_rate=None, prefetch_fragments=level,
-        )
-        # Traffic clustered around the denied service ports: win-region
-        # fragments are tiny there, so flows of one (ingress, destination)
-        # pair land in *different* fragments — the case where prefetching
-        # siblings can convert future redirects into cache hits.
-        rng = random.Random(seed + 2)
-        hosts = sorted(host_ips)
-        # Destinations must actually have port denies, else their win
-        # regions are single fragments and prefetch is vacuous.
-        denied_ips = {
-            rule.match.field("nw_dst").value
-            for rule in rules
-            if rule.actions.is_drop and not rule.match.ternary.is_wildcard()
-        }
-        destinations = [h for h in hosts if host_ips[h] in denied_ips][:3]
-        if not destinations:
-            destinations = hosts[:3]
-        services = [22, 445, 3306, 23, 161]
-        from repro.flowspace.packet import Packet
-        for index in range(flows):
-            src = rng.choice(hosts)
-            dst = rng.choice(destinations)
-            port = max(1, rng.choice(services) + rng.randint(-8, 8))
-            packet = Packet.from_fields(
-                LAYOUT, flow_id=index,
-                nw_src=host_ips[src], nw_dst=host_ips[dst], nw_proto=6,
-                tp_src=rng.randint(1024, 65535),
-                tp_dst=port,
-            )
-            dn.send_at(index * 2.5e-4, src, packet)
-        dn.run()
-        total_redirects = dn.total_redirects()
-        total_installs = sum(s.cache_installs_sent for s in dn.switches())
+    results = SweepRunner(jobs).map(
+        _prefetch_point,
+        [dict(level=level, flows=flows, seed=seed) for level in prefetch_levels],
+    )
+    for level, (total_redirects, total_installs, hit_rate) in zip(
+        prefetch_levels, results
+    ):
         redirects.append(level, total_redirects)
         installs.append(level, total_installs)
-        hit_rates.append(level, dn.cache_hit_rate())
-        rows.append([level, total_redirects, total_installs,
-                     f"{dn.cache_hit_rate():.4f}"])
+        hit_rates.append(level, hit_rate)
+        rows.append([level, total_redirects, total_installs, f"{hit_rate:.4f}"])
     return ExperimentResult(
         name="A2-prefetch",
         title="Prefetching sibling cache fragments",
@@ -162,27 +190,54 @@ def run_prefetch_ablation(
     )
 
 
+def _zipf_point(
+    alpha: float, cache_size: int, n_flows: int, n_packets: int, seed: int
+):
+    """One sweep point: both cache simulators at one traffic skew.
+
+    The policy and packet sequence come from the artifact cache keyed by
+    their generating parameters — a memory hit per point in the serial
+    path, one build per worker process in the parallel path.
+    """
+    from repro.parallel.cache import classbench_ruleset, zipf_packet_sequence
+
+    policy_params = {"profile": "acl", "count": 1000, "seed": seed}
+    policy = classbench_ruleset(layout=LAYOUT, **policy_params)
+    sequence = zipf_packet_sequence(
+        policy_params, LAYOUT, n_flows, seed + 1, n_packets, alpha, seed + 2
+    )
+    w = simulate_wildcard_cache(policy, LAYOUT, sequence, cache_size)
+    m = simulate_microflow_cache(policy, LAYOUT, sequence, cache_size)
+    return w.miss_rate, m.miss_rate
+
+
 def run_zipf_sensitivity(
     alphas: Optional[Sequence[float]] = None,
     cache_size: int = 100,
     n_flows: int = 1500,
     n_packets: int = 15_000,
     seed: int = 41,
+    jobs: Optional[int] = None,
 ) -> ExperimentResult:
     """Wildcard vs microflow miss rate across traffic skews."""
+    from repro.parallel.runner import SweepRunner
+
     alphas = list(alphas) if alphas else [0.6, 0.8, 1.0, 1.2]
-    policy = generate_classbench("acl", count=1000, seed=seed, layout=LAYOUT)
-    flows = flow_headers_for_policy(policy, n_flows, seed=seed + 1)
     wildcard = Series("DIFANE wildcard cache", x_label="zipf alpha", y_label="miss rate")
     microflow = Series("microflow cache", x_label="zipf alpha", y_label="miss rate")
     rows = []
-    for alpha in alphas:
-        sequence = packet_sequence(flows, n_packets, alpha=alpha, seed=seed + 2)
-        w = simulate_wildcard_cache(policy, LAYOUT, sequence, cache_size)
-        m = simulate_microflow_cache(policy, LAYOUT, sequence, cache_size)
-        wildcard.append(alpha, w.miss_rate)
-        microflow.append(alpha, m.miss_rate)
-        rows.append([alpha, f"{w.miss_rate:.4f}", f"{m.miss_rate:.4f}"])
+    results = SweepRunner(jobs).map(
+        _zipf_point,
+        [
+            dict(alpha=alpha, cache_size=cache_size, n_flows=n_flows,
+                 n_packets=n_packets, seed=seed)
+            for alpha in alphas
+        ],
+    )
+    for alpha, (w_miss, m_miss) in zip(alphas, results):
+        wildcard.append(alpha, w_miss)
+        microflow.append(alpha, m_miss)
+        rows.append([alpha, f"{w_miss:.4f}", f"{m_miss:.4f}"])
     return ExperimentResult(
         name="A3-zipf",
         title=f"Traffic-skew sensitivity ({cache_size}-entry cache)",

@@ -12,7 +12,7 @@ at each cache size.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.series import Series
 from repro.baselines.microflow_cache import (
@@ -22,12 +22,44 @@ from repro.baselines.microflow_cache import (
 from repro.experiments.common import ExperimentResult, resolve_engine
 from repro.flowspace.fields import FIVE_TUPLE_LAYOUT
 from repro.flowspace.rule import Rule
-from repro.workloads.classbench import generate_classbench
+from repro.parallel.cache import classbench_ruleset, zipf_packet_sequence
 from repro.workloads.traffic import flow_headers_for_policy, packet_sequence
 
 __all__ = ["run_cache_miss"]
 
 LAYOUT = FIVE_TUPLE_LAYOUT
+
+#: Generating parameters of the default ClassBench policy (the artifact
+#: cache's content address for it — and for the traffic derived from it).
+_DEFAULT_POLICY_PARAMS = {"profile": "acl", "count": 1000, "seed": 3}
+
+
+def _cache_point(
+    size: int,
+    policy: Optional[List[Rule]],
+    sequence: Optional[List[int]],
+    policy_params: Optional[Dict[str, Any]],
+    n_flows: int,
+    n_packets: int,
+    zipf_alpha: float,
+    seed: int,
+    engine: str,
+) -> Tuple[float, float, int, int]:
+    """One sweep point: both cache simulators at one cache ``size``.
+
+    When driven by generating parameters (``policy is None``) the policy
+    and packet sequence come from the artifact cache — a memory hit in
+    the serial path, one build per worker process in the parallel path.
+    An explicit policy ships with the point instead.
+    """
+    if policy is None:
+        policy = classbench_ruleset(layout=LAYOUT, **policy_params)
+        sequence = zipf_packet_sequence(
+            policy_params, LAYOUT, n_flows, seed, n_packets, zipf_alpha, seed + 1
+        )
+    w = simulate_wildcard_cache(policy, LAYOUT, sequence, size, engine=engine)
+    m = simulate_microflow_cache(policy, LAYOUT, sequence, size, engine=engine)
+    return w.miss_rate, m.miss_rate, w.installs, m.installs
 
 
 def run_cache_miss(
@@ -38,22 +70,42 @@ def run_cache_miss(
     zipf_alpha: float = 1.0,
     seed: int = 5,
     engine: Optional[str] = None,
+    jobs: Optional[int] = None,
 ) -> ExperimentResult:
     """Sweep cache sizes; return miss-rate series for both cache kinds.
 
     Parameters mirror the paper's setup: a ClassBench-style ACL, flows
     drawn across the policy weighted by flow-space share, packet-level
-    Zipf popularity over flows.
+    Zipf popularity over flows.  ``jobs`` fans the cache sizes out over
+    worker processes with identical output.
     """
+    from repro.parallel.runner import SweepRunner
+
     engine = resolve_engine(engine)
+    policy_params: Optional[Dict[str, Any]] = None
+    sequence: Optional[List[int]] = None
     if policy is None:
-        policy = generate_classbench("acl", count=1000, seed=3, layout=LAYOUT)
+        policy_params = dict(_DEFAULT_POLICY_PARAMS)
+        policy_size = len(classbench_ruleset(layout=LAYOUT, **policy_params))
+    else:
+        policy_size = len(policy)
+        flows = flow_headers_for_policy(policy, n_flows, seed=seed)
+        sequence = packet_sequence(flows, n_packets, alpha=zipf_alpha, seed=seed + 1)
     if cache_sizes is None:
-        base = max(len(policy) // 100, 1)
+        base = max(policy_size // 100, 1)
         cache_sizes = [base, 2 * base, 5 * base, 10 * base, 20 * base, 50 * base]
 
-    flows = flow_headers_for_policy(policy, n_flows, seed=seed)
-    sequence = packet_sequence(flows, n_packets, alpha=zipf_alpha, seed=seed + 1)
+    point_policy = None if policy_params is not None else policy
+    results = SweepRunner(jobs).map(
+        _cache_point,
+        [
+            dict(size=size, policy=point_policy, sequence=sequence,
+                 policy_params=policy_params, n_flows=n_flows,
+                 n_packets=n_packets, zipf_alpha=zipf_alpha,
+                 seed=seed, engine=engine)
+            for size in cache_sizes
+        ],
+    )
 
     wildcard = Series(
         "DIFANE wildcard cache", x_label="cache size (entries)", y_label="miss rate"
@@ -62,17 +114,15 @@ def run_cache_miss(
         "microflow cache", x_label="cache size (entries)", y_label="miss rate"
     )
     rows = []
-    for size in cache_sizes:
-        w = simulate_wildcard_cache(policy, LAYOUT, sequence, size, engine=engine)
-        m = simulate_microflow_cache(policy, LAYOUT, sequence, size, engine=engine)
-        wildcard.append(size, w.miss_rate)
-        microflow.append(size, m.miss_rate)
+    for size, (w_miss, m_miss, w_installs, m_installs) in zip(cache_sizes, results):
+        wildcard.append(size, w_miss)
+        microflow.append(size, m_miss)
         rows.append([
             size,
-            f"{w.miss_rate:.4f}",
-            f"{m.miss_rate:.4f}",
-            w.installs,
-            m.installs,
+            f"{w_miss:.4f}",
+            f"{m_miss:.4f}",
+            w_installs,
+            m_installs,
         ])
 
     return ExperimentResult(
@@ -83,7 +133,7 @@ def run_cache_miss(
                        "wildcard installs", "microflow installs"],
         table_rows=rows,
         notes={
-            "policy_size": len(policy),
+            "policy_size": policy_size,
             "flows": n_flows,
             "packets": n_packets,
             "zipf_alpha": zipf_alpha,

@@ -110,7 +110,7 @@ def _json_safe(value):
 def metrics_document(
     result: ExperimentResult,
     context=None,
-    exclude_prefixes=("profile_",),
+    exclude_prefixes=("profile_", "artifact_cache_"),
 ) -> Dict[str, object]:
     """The canonical metrics JSON document for one experiment run.
 
@@ -118,7 +118,9 @@ def metrics_document(
     are internal debris and are dropped) with the run context's registry
     snapshot.  Wall-clock ``profile_*`` histograms are excluded by
     default so the document is deterministic — golden-regression tests
-    diff it verbatim.
+    diff it verbatim.  ``artifact_cache_*`` counters describe the harness
+    (hits depend on cache warmth and worker count, not on the simulated
+    system), so they are excluded for the same reason.
     """
     from repro.obs import context as _obs_context
 

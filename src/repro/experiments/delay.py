@@ -53,73 +53,93 @@ def _cdf_series(label: str, values: List[float]) -> Series:
     return series
 
 
+def _delay_point(
+    system: str,
+    flows: int,
+    rate: float,
+    calibration: Calibration,
+    seed: int,
+    engine: str,
+) -> Dict[str, List[float]]:
+    """One sweep point: first/subsequent delay populations for one system.
+
+    ``system`` is ``"difane"`` or ``"nox"``.  Module-level and seeded by
+    explicit parameters so the sweep runner can run the two systems in
+    separate worker processes without changing any output.
+    """
+    topo_args = dict(core_count=2, distribution_count=3,
+                     access_per_distribution=3, hosts_per_access=2)
+    # Per-hop pipeline latency calibrated to the paper's kernel prototype.
+    hop_delay = 60e-6
+
+    topo = TopologyBuilder.three_tier_campus(**topo_args)
+    rules, host_ips = routing_policy_for_topology(topo, LAYOUT)
+    if system == "difane":
+        facade = DifaneNetwork.build(
+            topo,
+            rules,
+            LAYOUT,
+            authority_count=2,
+            cache_capacity=4096,
+            redirect_rate=calibration.authority_redirect_rate,
+            forwarding_delay_s=hop_delay,
+            engine=engine,
+        )
+    elif system == "nox":
+        facade = NoxNetwork.build(
+            topo,
+            rules,
+            LAYOUT,
+            controller_rate=calibration.controller_rate,
+            control_latency_s=calibration.control_latency_s,
+            forwarding_delay_s=hop_delay,
+            engine=engine,
+        )
+    else:
+        raise ValueError(f"unknown system {system!r}")
+
+    # Two identical packets per flow, the second well after the install.
+    timed = host_pair_packets(
+        topo, host_ips, LAYOUT, count=flows, rate=rate, seed=seed, flow_packets=1
+    )
+    late = host_pair_packets(
+        topo, host_ips, LAYOUT, count=flows, rate=rate, seed=seed, flow_packets=1
+    )
+    gap = flows / rate + 10 * calibration.control_latency_s
+    for timed_packet in late:
+        timed_packet.time += gap
+    for timed_packet in timed + late:
+        facade.send_at(timed_packet.time, timed_packet.source_host, timed_packet.packet)
+    facade.run()
+    return _delays(facade.network.delivered())
+
+
 def run_delay(
     flows: int = 200,
     rate: float = 2_000.0,
     calibration: Calibration = CALIBRATION,
     seed: int = 7,
     engine: Optional[str] = None,
+    jobs: Optional[int] = None,
 ) -> ExperimentResult:
     """Measure first- and subsequent-packet delay under both architectures.
 
     ``rate`` is kept far below every capacity so queueing delay is
     negligible and the comparison isolates path/architecture latency.
+    ``jobs`` runs the two systems in parallel worker processes with
+    identical output (see :mod:`repro.parallel.runner`).
     """
+    from repro.parallel.runner import SweepRunner
+
     engine = resolve_engine(engine)
-    topo_args = dict(core_count=2, distribution_count=3,
-                     access_per_distribution=3, hosts_per_access=2)
-
-    def workload(topo, host_ips):
-        """Two identical packets per flow, the second after install."""
-        timed = host_pair_packets(
-            topo, host_ips, LAYOUT, count=flows, rate=rate, seed=seed, flow_packets=1
-        )
-        # Second packet of each flow, well after the install completed.
-        late = host_pair_packets(
-            topo, host_ips, LAYOUT, count=flows, rate=rate, seed=seed, flow_packets=1
-        )
-        gap = flows / rate + 10 * calibration.control_latency_s
-        for timed_packet in late:
-            timed_packet.time += gap
-        return timed + late
-
-    # Per-hop pipeline latency calibrated to the paper's kernel prototype.
-    hop_delay = 60e-6
-
-    # DIFANE.
-    topo = TopologyBuilder.three_tier_campus(**topo_args)
-    rules, host_ips = routing_policy_for_topology(topo, LAYOUT)
-    dn = DifaneNetwork.build(
-        topo,
-        rules,
-        LAYOUT,
-        authority_count=2,
-        cache_capacity=4096,
-        redirect_rate=calibration.authority_redirect_rate,
-        forwarding_delay_s=hop_delay,
-        engine=engine,
+    difane, nox = SweepRunner(jobs).map(
+        _delay_point,
+        [
+            dict(system=system, flows=flows, rate=rate,
+                 calibration=calibration, seed=seed, engine=engine)
+            for system in ("difane", "nox")
+        ],
     )
-    for timed_packet in workload(topo, host_ips):
-        dn.send_at(timed_packet.time, timed_packet.source_host, timed_packet.packet)
-    dn.run()
-    difane = _delays(dn.network.delivered())
-
-    # NOX.
-    topo = TopologyBuilder.three_tier_campus(**topo_args)
-    rules, host_ips = routing_policy_for_topology(topo, LAYOUT)
-    nn = NoxNetwork.build(
-        topo,
-        rules,
-        LAYOUT,
-        controller_rate=calibration.controller_rate,
-        control_latency_s=calibration.control_latency_s,
-        forwarding_delay_s=hop_delay,
-        engine=engine,
-    )
-    for timed_packet in workload(topo, host_ips):
-        nn.send_at(timed_packet.time, timed_packet.source_host, timed_packet.packet)
-    nn.run()
-    nox = _delays(nn.network.delivered())
 
     series = [
         _cdf_series("DIFANE first", difane["first"]),

@@ -84,6 +84,54 @@ def _span_goodput(delivered, scale: float) -> float:
     return (len(delivered) - 1) / span / scale
 
 
+def _scaling_point(
+    k: int,
+    flows_per_point: int,
+    n_ingress: int,
+    scale: float,
+    calibration: Calibration,
+    engine: str,
+) -> tuple:
+    """One sweep point: saturated goodput of both architectures at ``k``.
+
+    Module-level and fully parameterized (seeds derive from ``k``, never
+    from execution order) so the sweep runner can fan points out across
+    worker processes with byte-identical results.
+    """
+    offered_scaled = 1.5 * k * calibration.authority_redirect_rate * scale
+
+    topo = _build_topology(k, n_ingress, n_dst_hosts=16)
+    rules, host_ips = routing_policy_for_topology(topo, LAYOUT)
+    dn = DifaneNetwork.build(
+        topo,
+        rules,
+        LAYOUT,
+        authority_switches=[f"auth{i}" for i in range(k)],
+        cache_capacity=0,
+        partitions_per_authority=4,
+        redirect_rate=calibration.authority_redirect_rate * scale,
+        engine=engine,
+    )
+    _inject_unique_flows(dn, host_ips, n_ingress, flows_per_point, offered_scaled, seed=k)
+    dn.run()
+    difane_goodput = _span_goodput(dn.network.delivered(), scale)
+
+    topo = _build_topology(k, n_ingress, n_dst_hosts=16)
+    rules, host_ips = routing_policy_for_topology(topo, LAYOUT)
+    nn = NoxNetwork.build(
+        topo,
+        rules,
+        LAYOUT,
+        controller_rate=calibration.controller_rate * scale,
+        controller_queue=calibration.controller_queue,
+        control_latency_s=calibration.control_latency_s,
+        engine=engine,
+    )
+    _inject_unique_flows(nn, host_ips, n_ingress, flows_per_point, offered_scaled, seed=k)
+    nn.run()
+    return difane_goodput, _span_goodput(nn.network.delivered(), scale)
+
+
 def run_scaling(
     authority_counts: Optional[Sequence[int]] = None,
     flows_per_point: int = 1500,
@@ -91,12 +139,17 @@ def run_scaling(
     scale: float = 0.01,
     calibration: Calibration = CALIBRATION,
     engine: Optional[str] = None,
+    jobs: Optional[int] = None,
 ) -> ExperimentResult:
     """Measure saturated goodput as authority switches are added.
 
     Returns two series over ``k``: DIFANE (≈ linear in k) and NOX (flat at
-    the controller's capacity however large k grows).
+    the controller's capacity however large k grows).  ``jobs`` fans the
+    ``k`` points out over worker processes (output is identical to the
+    serial run; see :mod:`repro.parallel.runner`).
     """
+    from repro.parallel.runner import SweepRunner
+
     authority_counts = list(authority_counts) if authority_counts else [1, 2, 3, 4]
     engine = resolve_engine(engine)
     difane_series = Series(
@@ -106,39 +159,17 @@ def run_scaling(
         "NOX", x_label="# authority switches", y_label="goodput (flows/s)"
     )
 
-    for k in authority_counts:
-        offered_scaled = 1.5 * k * calibration.authority_redirect_rate * scale
-
-        topo = _build_topology(k, n_ingress, n_dst_hosts=16)
-        rules, host_ips = routing_policy_for_topology(topo, LAYOUT)
-        dn = DifaneNetwork.build(
-            topo,
-            rules,
-            LAYOUT,
-            authority_switches=[f"auth{i}" for i in range(k)],
-            cache_capacity=0,
-            partitions_per_authority=4,
-            redirect_rate=calibration.authority_redirect_rate * scale,
-            engine=engine,
-        )
-        _inject_unique_flows(dn, host_ips, n_ingress, flows_per_point, offered_scaled, seed=k)
-        dn.run()
-        difane_series.append(k, _span_goodput(dn.network.delivered(), scale))
-
-        topo = _build_topology(k, n_ingress, n_dst_hosts=16)
-        rules, host_ips = routing_policy_for_topology(topo, LAYOUT)
-        nn = NoxNetwork.build(
-            topo,
-            rules,
-            LAYOUT,
-            controller_rate=calibration.controller_rate * scale,
-            controller_queue=calibration.controller_queue,
-            control_latency_s=calibration.control_latency_s,
-            engine=engine,
-        )
-        _inject_unique_flows(nn, host_ips, n_ingress, flows_per_point, offered_scaled, seed=k)
-        nn.run()
-        nox_series.append(k, _span_goodput(nn.network.delivered(), scale))
+    goodputs = SweepRunner(jobs).map(
+        _scaling_point,
+        [
+            dict(k=k, flows_per_point=flows_per_point, n_ingress=n_ingress,
+                 scale=scale, calibration=calibration, engine=engine)
+            for k in authority_counts
+        ],
+    )
+    for k, (difane_goodput, nox_goodput) in zip(authority_counts, goodputs):
+        difane_series.append(k, difane_goodput)
+        nox_series.append(k, nox_goodput)
 
     result = ExperimentResult(
         name="E3-scaling",

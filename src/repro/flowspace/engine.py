@@ -70,6 +70,16 @@ class MatchEngine:
         """Insert ``rule``; later lookups must honour its priority."""
         raise NotImplementedError
 
+    def add_all(self, rules: Iterable[Rule]) -> None:
+        """Insert a batch of rules; equivalent to ``add`` in order.
+
+        Engines with per-insert ordering costs override this with a
+        construction fast path (group/sort once) — the observable state
+        afterwards must be identical to one-at-a-time ``add`` calls.
+        """
+        for rule in rules:
+            self.add(rule)
+
     def remove(self, rule: Rule) -> bool:
         """Remove ``rule`` (by identity); returns whether it was present."""
         raise NotImplementedError
@@ -243,6 +253,9 @@ class TupleSpaceEngine(TupleSpaceTable, MatchEngine):
     def __init__(self, layout: HeaderLayout, rules: Optional[Iterable[Rule]] = None):
         TupleSpaceTable.__init__(self, layout, rules)
 
+    def add_all(self, rules: Iterable[Rule]) -> None:
+        self._bulk_load(rules)
+
     def remove_if(self, predicate: Callable[[Rule], bool]) -> List[Rule]:
         doomed = [rule for rule in self.rules() if predicate(rule)]
         for rule in doomed:
@@ -252,6 +265,7 @@ class TupleSpaceEngine(TupleSpaceTable, MatchEngine):
     def clear(self) -> None:
         self._groups.clear()
         self._scan_order = []
+        self._scan_dirty = False
         self._size = 0
         self._sequence = 0
 

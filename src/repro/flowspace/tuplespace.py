@@ -17,6 +17,7 @@ measures the speedup on ClassBench rule sets.
 
 from __future__ import annotations
 
+from bisect import insort
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.flowspace.fields import HeaderLayout
@@ -52,9 +53,12 @@ class _TupleGroup:
             )
         masked = rule.match.ternary.value  # already normalized to the mask
         bucket = self.buckets.setdefault(masked, [])
-        bucket.append((key, rule))
-        bucket.sort(key=lambda item: item[0])
-        self.max_priority = max(self.max_priority, rule.priority)
+        # Keys are unique (the sequence half strictly increases), so the
+        # tuple compare never reaches the rule and insort keeps the
+        # bucket ordered in O(len) instead of a full re-sort.
+        insort(bucket, (key, rule))
+        if rule.priority > self.max_priority:
+            self.max_priority = rule.priority
 
     def remove(self, rule: Rule) -> bool:
         """Remove ``rule`` by identity; True when it was present."""
@@ -101,15 +105,46 @@ class TupleSpaceTable:
     def __init__(self, layout: HeaderLayout, rules: Optional[Iterable[Rule]] = None):
         self.layout = layout
         self._groups: Dict[int, _TupleGroup] = {}
-        #: Groups sorted by max_priority descending (pruned scan order).
+        #: Groups sorted by max_priority descending (pruned scan order);
+        #: rebuilt lazily at the next lookup after any mutation.
         self._scan_order: List[_TupleGroup] = []
+        self._scan_dirty = False
         self._sequence = 0
         self._size = 0
         if rules:
-            for rule in rules:
-                self.add(rule)
+            self._bulk_load(rules)
 
     # -- mutation ---------------------------------------------------------------
+    def _bulk_load(self, rules: Iterable[Rule]) -> None:
+        """Construction fast path: group once, sort each bucket once.
+
+        Incremental :meth:`add` pays an ordered insert per rule plus a
+        scan-order rebuild per batch; building a 10K-rule classifier one
+        ``add`` at a time spent ~70x longer re-sorting than this single
+        grouped pass (see ``benchmarks/results/perf-engines.txt``).
+        Semantics are identical: the same ``(−priority, sequence)`` keys
+        land in the same buckets in the same order.
+        """
+        groups = self._groups
+        for rule in rules:
+            if rule.match.layout != self.layout:
+                raise ValueError("rule layout differs from table layout")
+            mask = rule.match.ternary.mask
+            group = groups.get(mask)
+            if group is None:
+                group = _TupleGroup(mask)
+                groups[mask] = group
+            key = (-rule.priority, self._sequence)
+            self._sequence += 1
+            group.buckets.setdefault(rule.match.ternary.value, []).append((key, rule))
+            if rule.priority > group.max_priority:
+                group.max_priority = rule.priority
+            self._size += 1
+        for group in groups.values():
+            for bucket in group.buckets.values():
+                bucket.sort(key=lambda item: item[0])
+        self._scan_dirty = True
+
     def add(self, rule: Rule) -> None:
         """Insert ``rule`` (same ordering semantics as RuleTable.add)."""
         if rule.match.layout != self.layout:
@@ -123,7 +158,7 @@ class TupleSpaceTable:
         self._sequence += 1
         group.insert(key, rule)
         self._size += 1
-        self._resort()
+        self._scan_dirty = True
 
     def remove(self, rule: Rule) -> bool:
         """Remove ``rule`` by identity."""
@@ -135,13 +170,14 @@ class TupleSpaceTable:
             self._size -= 1
             if not len(group):
                 del self._groups[rule.match.ternary.mask]
-            self._resort()
+            self._scan_dirty = True
         return removed
 
     def _resort(self) -> None:
         self._scan_order = sorted(
             self._groups.values(), key=lambda g: -g.max_priority
         )
+        self._scan_dirty = False
 
     # -- lookup ----------------------------------------------------------------------
     def lookup_bits(self, header_bits: int) -> Optional[Rule]:
@@ -151,6 +187,8 @@ class TupleSpaceTable:
         the current best cannot be beaten — the standard tuple-space
         pruning.
         """
+        if self._scan_dirty:
+            self._resort()
         best_key: Optional[Tuple[int, int]] = None
         best_rule: Optional[Rule] = None
         for group in self._scan_order:

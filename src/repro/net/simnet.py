@@ -91,6 +91,11 @@ class SimNetwork:
         self._m_delivered = self.metrics.counter("packets_delivered_total")
         self._m_control = self.metrics.counter("control_messages_total")
         self._m_dropped: Dict[str, object] = {}
+        # Hot-path host membership: _arrive runs once per hop for every
+        # packet, and the networkx role lookup it replaced was two dict
+        # chases per call.  Refreshed on every topology change (all of
+        # which funnel through rebuild_routes).
+        self._hosts = self._host_set()
         self._build_links()
 
     # -- wiring ---------------------------------------------------------------
@@ -145,6 +150,7 @@ class SimNetwork:
         for pair in [p for p in self._links if p not in current]:
             del self._links[pair]
         self.routes = compute_routes(self.topology)
+        self._hosts = self._host_set()
 
     # -- packet movement -------------------------------------------------------
     def inject_from_host(self, host: str, packet: Packet) -> None:
@@ -241,9 +247,15 @@ class SimNetwork:
             if jitter_s is not None:
                 link.jitter_s = jitter_s
 
+    def _host_set(self) -> frozenset:
+        graph = self.topology.graph
+        return frozenset(
+            name for name, data in graph.nodes(data=True)
+            if data.get("role") == "host"
+        )
+
     def _arrive(self, node_name: str, packet: Packet) -> None:
-        role = self.topology.graph.nodes[node_name].get("role")
-        if role == "host":
+        if node_name in self._hosts:
             self.record_delivery(packet, node_name)
             return
         behaviour = self._nodes.get(node_name)

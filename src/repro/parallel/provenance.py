@@ -1,0 +1,45 @@
+"""Host provenance: who measured this number?
+
+Benchmark archives under ``benchmarks/results/`` are committed and
+compared across machines and PRs; a wall-clock figure is meaningless
+without the hardware and runtime that produced it.  Every archive embeds
+:func:`host_provenance` so results are comparable (or at least
+explainable) across hosts.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import sys
+from typing import Dict, Optional
+
+__all__ = ["host_provenance", "cpu_model"]
+
+
+def cpu_model() -> str:
+    """A human-readable CPU model string (best effort, never raises)."""
+    try:
+        with open("/proc/cpuinfo") as handle:
+            for line in handle:
+                if line.lower().startswith("model name"):
+                    return line.split(":", 1)[1].strip()
+    except OSError:
+        pass
+    return platform.processor() or platform.machine() or "unknown"
+
+
+def host_provenance(jobs: Optional[int] = None) -> Dict[str, object]:
+    """Machine/runtime facts to stamp into a benchmark archive."""
+    provenance: Dict[str, object] = {
+        "cpu_model": cpu_model(),
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+        "python": "%s %s" % (
+            platform.python_implementation(),
+            sys.version.split()[0],
+        ),
+    }
+    if jobs is not None:
+        provenance["jobs"] = jobs
+    return provenance

@@ -1,0 +1,168 @@
+"""The deterministic process-pool sweep runner.
+
+:class:`SweepRunner` fans a sweep's points out over a
+``concurrent.futures.ProcessPoolExecutor`` and reassembles results in
+point order.  The determinism contract — ``jobs=N`` output byte-identical
+to ``jobs=1`` — holds because:
+
+* **inputs** — every point's parameters (seeds included) are fixed
+  before fan-out; nothing depends on worker identity or completion
+  order (use :func:`repro.parallel.seeds.derive_seed` for replicate
+  seeds);
+* **execution** — each point runs in a fresh observability context
+  inside its worker, so points cannot observe each other in either
+  mode;
+* **outputs** — results are reassembled in submission (= point) order,
+  and per-point metric registries are folded into the caller's registry
+  through the merge algebra (counters add, histograms add bucket-wise:
+  associative and commutative, so the fold equals serial accumulation —
+  the simulator emits no gauges, whose max-merge would not).
+
+The pool propagates the process-wide knobs every worker needs — the
+default match engine, the artifact-cache directory, and the caller's
+observability configuration — through a worker initializer, because a
+``spawn``-start pool (macOS/Windows) inherits none of them.
+
+Packet tracing is the one surface the pool does not transport (events
+live in a ring buffer whose interleaving is scheduling-dependent), so a
+run with tracing enabled degrades to in-process execution rather than
+silently losing trace events.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.parallel.seeds import derive_seed
+
+__all__ = ["SweepRunner", "resolve_jobs"]
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Normalize a ``--jobs`` value: ``None``/1 → serial, 0/negative → all cores."""
+    if jobs is None:
+        return 1
+    if jobs <= 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+# -- worker side (module-level: must be picklable by reference) -------------
+
+_WORKER_OBS: Dict[str, bool] = {"metrics_enabled": True, "profile": False}
+
+
+def _init_worker(
+    engine_name: str,
+    cache_dir: Optional[str],
+    metrics_enabled: bool,
+    profile: bool,
+) -> None:
+    """Propagate process-wide knobs into a freshly started worker."""
+    from repro.flowspace.engine import set_default_engine
+    from repro.parallel.cache import configure_artifact_cache
+
+    set_default_engine(engine_name)
+    configure_artifact_cache(cache_dir)
+    _WORKER_OBS["metrics_enabled"] = metrics_enabled
+    _WORKER_OBS["profile"] = profile
+
+
+def _execute_point(fn: Callable[..., Any], params: Dict[str, Any]):
+    """Run one sweep point in an isolated run context; ship metrics back."""
+    from repro.obs import fresh_run_context
+
+    context = fresh_run_context(
+        metrics_enabled=_WORKER_OBS["metrics_enabled"],
+        profile=_WORKER_OBS["profile"],
+    )
+    value = fn(**params)
+    registry = context.metrics if context.metrics.enabled else None
+    return value, registry
+
+
+class SweepRunner:
+    """Run per-point functions across a sweep, serially or in a pool.
+
+    ``fn`` must be a module-level callable (workers resolve it by
+    qualified name) and every parameter value picklable.  With
+    ``jobs <= 1`` points run in the caller's process *and* observability
+    context — the exact historical serial code path; with ``jobs > 1``
+    they run in worker processes and their registries are merged back.
+    """
+
+    def __init__(self, jobs: Optional[int] = None):
+        self.jobs = resolve_jobs(jobs)
+
+    # -- execution ---------------------------------------------------------
+    def map(
+        self,
+        fn: Callable[..., Any],
+        param_sets: Sequence[Dict[str, Any]],
+    ) -> List[Any]:
+        """``[fn(**params) for params in param_sets]``, possibly in parallel.
+
+        Results come back in ``param_sets`` order regardless of worker
+        scheduling.
+        """
+        from repro.obs import context as obs_context
+
+        param_sets = list(param_sets)
+        jobs = min(self.jobs, len(param_sets)) if param_sets else 1
+        if jobs <= 1 or obs_context.current_tracer().enabled:
+            return [fn(**params) for params in param_sets]
+
+        from repro.flowspace.engine import get_default_engine
+        from repro.parallel.cache import artifact_cache
+
+        parent = obs_context.current()
+        cache_dir = artifact_cache().cache_dir
+        init_args = (
+            get_default_engine(),
+            str(cache_dir) if cache_dir is not None else None,
+            parent.metrics.enabled,
+            parent.profiler.enabled,
+        )
+        try:
+            executor = ProcessPoolExecutor(
+                max_workers=jobs, initializer=_init_worker, initargs=init_args
+            )
+        except (OSError, PermissionError, ValueError):
+            # No subprocess support on this host: degrade to serial.
+            return [fn(**params) for params in param_sets]
+        with executor:
+            futures = [
+                executor.submit(_execute_point, fn, params)
+                for params in param_sets
+            ]
+            # Ordered reassembly: gather in submission order, then fold
+            # registries in that same order (the merge is commutative, so
+            # this is belt-and-braces, not load-bearing).
+            outcomes = [future.result() for future in futures]
+        values: List[Any] = []
+        for value, registry in outcomes:
+            values.append(value)
+            if registry is not None and parent.metrics.enabled:
+                parent.metrics.merge_from(registry)
+        return values
+
+    def map_seeded(
+        self,
+        fn: Callable[..., Any],
+        keys: Sequence[Any],
+        base_params: Optional[Dict[str, Any]] = None,
+        root_seed: int = 0,
+        seed_param: str = "seed",
+    ) -> List[Any]:
+        """Replicate sweep: one point per key, seeded by ``(root_seed, key)``.
+
+        Per-point seeds come from :func:`derive_seed`, so they depend
+        only on the key — never on worker count or scheduling order.
+        """
+        base = dict(base_params or {})
+        param_sets = [
+            {**base, seed_param: derive_seed(root_seed, key)} for key in keys
+        ]
+        return self.map(fn, param_sets)

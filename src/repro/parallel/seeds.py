@@ -1,0 +1,59 @@
+"""Deterministic per-point seed derivation for parallel sweeps.
+
+The determinism contract of the sweep runner rests on one rule: a sweep
+point's seed is a pure function of ``(root_seed, point_key)`` — never of
+worker identity, scheduling order, or how many points run concurrently.
+Two runs of the same sweep with different ``--jobs`` therefore feed every
+point the same randomness, and their outputs are byte-identical.
+
+Seeds are derived by hashing a canonical encoding of the key material
+with SHA-256 (stable across processes and Python versions, unlike
+``hash()``, which is salted per process for strings).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Union
+
+__all__ = ["derive_seed", "canonical_key"]
+
+#: Key material accepted by :func:`derive_seed`: scalars or (nested)
+#: tuples/lists/dicts of scalars.
+KeyLike = Union[None, bool, int, float, str, bytes, tuple, list, dict]
+
+
+def canonical_key(key: KeyLike) -> str:
+    """A stable, order-insensitive-for-dicts string encoding of ``key``.
+
+    Lists and tuples encode identically (both are "a sequence of parts");
+    dict items are sorted by key so two equal mappings always encode the
+    same way.  Floats use ``repr`` (shortest round-trip form), so equal
+    floats encode equally on every platform we run on.
+    """
+    if isinstance(key, (list, tuple)):
+        return "(" + ",".join(canonical_key(part) for part in key) + ")"
+    if isinstance(key, dict):
+        items = sorted((str(name), canonical_key(value)) for name, value in key.items())
+        return "{" + ",".join(f"{name}={value}" for name, value in items) + "}"
+    if isinstance(key, bytes):
+        return "b:" + key.hex()
+    if isinstance(key, bool):
+        # Before int: True would otherwise collide with 1.
+        return f"bool:{key}"
+    if isinstance(key, (int, float, str)) or key is None:
+        return f"{type(key).__name__}:{key!r}"
+    raise TypeError(f"unhashable sweep key component: {key!r} ({type(key).__name__})")
+
+
+def derive_seed(root_seed: int, point_key: KeyLike, bits: int = 63) -> int:
+    """The seed for sweep point ``point_key`` under ``root_seed``.
+
+    Returns a non-negative ``bits``-bit integer (63 by default, so the
+    result fits a signed 64-bit int everywhere it might be stored).
+    """
+    if not 1 <= bits <= 256:
+        raise ValueError(f"bits must be in [1, 256], got {bits}")
+    payload = f"{int(root_seed)}\x1f{canonical_key(point_key)}".encode()
+    digest = hashlib.sha256(payload).digest()
+    return int.from_bytes(digest, "big") >> (256 - bits)

@@ -1,0 +1,291 @@
+"""Parallel sweep runner, seed derivation and the artifact cache.
+
+The property under test everywhere: nothing observable — results,
+metrics, seeds — may depend on how many workers ran the sweep or in
+what order they finished.
+"""
+
+import json
+import os
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.experiments.common import metrics_document
+from repro.flowspace.fields import FIVE_TUPLE_LAYOUT as _LAYOUT
+from repro.obs import context as obs_context
+from repro.obs import fresh_run_context
+from repro.parallel import (
+    ArtifactCache,
+    SweepRunner,
+    classbench_ruleset,
+    configure_artifact_cache,
+    derive_seed,
+    host_provenance,
+    resolve_jobs,
+)
+from repro.parallel.seeds import canonical_key
+
+
+@pytest.fixture(autouse=True)
+def _fresh_obs_and_cache():
+    """Isolate every test: fresh run context, memory-only artifact cache."""
+    previous = obs_context.current()
+    fresh_run_context()
+    configure_artifact_cache(None)
+    yield
+    configure_artifact_cache(None)
+    obs_context.install(previous)
+
+
+# ---------------------------------------------------------------------------
+# Seed derivation
+# ---------------------------------------------------------------------------
+
+
+class TestDeriveSeed:
+    def test_stable_across_calls(self):
+        assert derive_seed(7, ("replicate", 3)) == derive_seed(7, ("replicate", 3))
+
+    def test_depends_on_root_and_key(self):
+        seeds = {
+            derive_seed(root, ("replicate", index))
+            for root in (0, 1, 7)
+            for index in range(16)
+        }
+        assert len(seeds) == 48  # no collisions across roots or indices
+
+    def test_in_range(self):
+        for index in range(64):
+            seed = derive_seed(1, index)
+            assert 0 <= seed < 2 ** 63
+
+    def test_dict_key_order_irrelevant(self):
+        assert canonical_key({"a": 1, "b": 2}) == canonical_key({"b": 2, "a": 1})
+
+    def test_list_and_tuple_agree(self):
+        assert canonical_key([1, "x", [2]]) == canonical_key((1, "x", (2,)))
+
+    def test_bool_distinct_from_int(self):
+        assert canonical_key(True) != canonical_key(1)
+
+    def test_unhashable_payloads_rejected(self):
+        with pytest.raises(TypeError):
+            canonical_key(object())
+
+    @settings(max_examples=80, deadline=None)
+    @given(
+        root=st.integers(min_value=0, max_value=2 ** 31),
+        key=st.one_of(
+            st.integers(),
+            st.text(max_size=20),
+            st.tuples(st.text(max_size=8), st.integers()),
+        ),
+    )
+    def test_prop_deterministic_and_bounded(self, root, key):
+        seed = derive_seed(root, key)
+        assert seed == derive_seed(root, key)
+        assert 0 <= seed < 2 ** 63
+
+
+# ---------------------------------------------------------------------------
+# Artifact cache
+# ---------------------------------------------------------------------------
+
+
+class TestArtifactCache:
+    def test_memory_hit_returns_same_object(self):
+        cache = ArtifactCache()
+        calls = []
+        first = cache.get("k", {"a": 1}, lambda: calls.append(1) or [1, 2, 3])
+        second = cache.get("k", {"a": 1}, lambda: calls.append(1) or [9, 9, 9])
+        assert first is second == [1, 2, 3]
+        assert len(calls) == 1
+
+    def test_params_distinguish(self):
+        cache = ArtifactCache()
+        assert cache.get("k", {"a": 1}, lambda: "one") == "one"
+        assert cache.get("k", {"a": 2}, lambda: "two") == "two"
+
+    def test_disk_hit_across_instances(self, tmp_path):
+        first = ArtifactCache(str(tmp_path))
+        built = first.get("rules", {"n": 4}, lambda: list(range(4)))
+        second = ArtifactCache(str(tmp_path))
+        loaded = second.get("rules", {"n": 4}, lambda: pytest.fail("rebuilt"))
+        assert loaded == built
+        assert loaded is not built  # a disk copy, not the same object
+
+    def test_disk_opt_out(self, tmp_path):
+        cache = ArtifactCache(str(tmp_path))
+        cache.get("identity-bound", {"n": 1}, lambda: [1], disk=False)
+        assert not list(tmp_path.rglob("*.pkl"))
+
+    def test_counters(self, tmp_path):
+        context = fresh_run_context()
+        cache = ArtifactCache(str(tmp_path))
+        cache.get("k", {"a": 1}, lambda: "v")      # build
+        cache.get("k", {"a": 1}, lambda: "v")      # memory
+        ArtifactCache(str(tmp_path)).get("k", {"a": 1}, lambda: "v")  # disk
+        snapshot = context.metrics.snapshot()
+        events = snapshot["counters"]
+        assert events["artifact_cache_events_total{kind=k,outcome=build}"] == 1
+        assert events["artifact_cache_events_total{kind=k,outcome=memory}"] == 1
+        assert events["artifact_cache_events_total{kind=k,outcome=disk}"] == 1
+
+    def test_classbench_builder_returns_fresh_list(self):
+        first = classbench_ruleset("acl", count=50, seed=9, layout=_LAYOUT)
+        second = classbench_ruleset("acl", count=50, seed=9, layout=_LAYOUT)
+        assert first is not second
+        assert all(a is b for a, b in zip(first, second))  # rules shared
+
+    def test_excluded_from_metrics_document(self):
+        from repro.experiments.common import ExperimentResult
+
+        context = fresh_run_context()
+        classbench_ruleset("acl", count=20, seed=9, layout=_LAYOUT)
+        document = metrics_document(
+            ExperimentResult(name="x", title="x"), context=context
+        )
+        assert not any(
+            key.startswith("artifact_cache_")
+            for key in document["metrics"]["counters"]
+        )
+
+
+# ---------------------------------------------------------------------------
+# Sweep runner
+# ---------------------------------------------------------------------------
+
+
+def _square_and_count(x):
+    """A sweep point that returns a value and emits metrics."""
+    obs_context.current_registry().counter("points_total", parity=str(x % 2)).inc()
+    obs_context.current_registry().histogram("point_value", [1, 10, 100]).observe(x)
+    return x * x
+
+
+def _report_seed(seed):
+    return seed
+
+
+def _worker_pid(x):
+    return os.getpid()
+
+
+class TestSweepRunner:
+    def test_resolve_jobs(self):
+        assert resolve_jobs(None) == 1
+        assert resolve_jobs(1) == 1
+        assert resolve_jobs(3) == 3
+        assert resolve_jobs(0) == (os.cpu_count() or 1)
+
+    def test_results_in_point_order(self):
+        params = [dict(x=x) for x in range(8)]
+        assert SweepRunner(3).map(_square_and_count, params) == [
+            x * x for x in range(8)
+        ]
+
+    def test_parallel_metrics_identical_to_serial(self):
+        params = [dict(x=x) for x in range(10)]
+
+        serial_context = fresh_run_context()
+        serial = SweepRunner(1).map(_square_and_count, params)
+        serial_snapshot = serial_context.metrics.snapshot()
+
+        parallel_context = fresh_run_context()
+        parallel = SweepRunner(4).map(_square_and_count, params)
+        parallel_snapshot = parallel_context.metrics.snapshot()
+
+        assert parallel == serial
+        assert parallel_snapshot == serial_snapshot
+
+    def test_pool_actually_used_when_possible(self):
+        pids = SweepRunner(2).map(_worker_pid, [dict(x=0), dict(x=1)])
+        # Workers are separate processes (unless the host denies pools,
+        # in which case the runner degrades to serial — also acceptable).
+        assert len(pids) == 2
+
+    def test_tracing_forces_inline_execution(self):
+        fresh_run_context(trace=True)
+        pids = SweepRunner(4).map(_worker_pid, [dict(x=x) for x in range(3)])
+        assert set(pids) == {os.getpid()}
+
+    def test_seeds_independent_of_worker_count(self):
+        keys = [("replicate", index) for index in range(6)]
+        serial = SweepRunner(1).map_seeded(_report_seed, keys, root_seed=5)
+        parallel = SweepRunner(3).map_seeded(_report_seed, keys, root_seed=5)
+        assert serial == parallel
+        assert serial == [derive_seed(5, key) for key in keys]
+        assert len(set(serial)) == len(keys)
+
+    def test_seeds_independent_of_key_insertion_order(self):
+        keys = [("replicate", index) for index in range(6)]
+        forward = SweepRunner(1).map_seeded(_report_seed, keys, root_seed=5)
+        backward = SweepRunner(1).map_seeded(
+            _report_seed, list(reversed(keys)), root_seed=5
+        )
+        assert forward == list(reversed(backward))
+
+
+# ---------------------------------------------------------------------------
+# End-to-end: experiments under jobs>1 reproduce the serial run exactly
+# ---------------------------------------------------------------------------
+
+
+class TestExperimentDeterminism:
+    def _delay_document(self, jobs):
+        from repro.experiments.delay import run_delay
+
+        context = fresh_run_context()
+        result = run_delay(flows=20, jobs=jobs)
+        return json.dumps(
+            metrics_document(result, context=context), sort_keys=True
+        ), result.table_rows
+
+    def test_delay_metrics_document_byte_identical(self):
+        serial_doc, serial_rows = self._delay_document(jobs=1)
+        parallel_doc, parallel_rows = self._delay_document(jobs=2)
+        assert parallel_doc == serial_doc
+        assert parallel_rows == serial_rows
+
+    def test_scaling_series_identical(self):
+        from repro.experiments.scaling import run_scaling
+
+        kwargs = dict(authority_counts=[1, 2], flows_per_point=120)
+        serial = run_scaling(jobs=1, **kwargs)
+        parallel = run_scaling(jobs=2, **kwargs)
+        for a, b in zip(serial.series, parallel.series):
+            assert a.label == b.label
+            assert a.x == b.x
+            assert a.y == b.y
+
+    def test_chaos_replicates_reproduce_serial(self):
+        from repro.experiments.chaos import run_chaos_replicates
+
+        kwargs = dict(rate=600.0, duration=0.25)
+        serial = run_chaos_replicates(
+            replicates=2, root_seed=11, jobs=1, **kwargs
+        )
+        parallel = run_chaos_replicates(
+            replicates=2, root_seed=11, jobs=2, **kwargs
+        )
+        assert parallel == serial
+        for replicate in serial:
+            assert replicate["invariant_violations"] == 0
+            assert replicate["unaccounted_packets"] == 0
+            assert replicate["drop_attribution"].get("unattributed", 0) == 0
+
+
+# ---------------------------------------------------------------------------
+# Host provenance
+# ---------------------------------------------------------------------------
+
+
+def test_host_provenance_shape():
+    info = host_provenance(jobs=4)
+    assert info["jobs"] == 4
+    assert info["cpu_count"] >= 1
+    assert info["cpu_model"]
+    assert info["python"]
+    info_no_jobs = host_provenance()
+    assert "jobs" not in info_no_jobs

@@ -97,6 +97,28 @@ class TestEquivalenceOnClassBench:
         for bits in probes:
             assert tss.lookup_bits(bits) is linear.lookup_bits(bits)
 
+    def test_bulk_construction_equals_incremental(self):
+        """The constructor's bulk-load fast path is observably identical
+        to one-at-a-time adds: same winners everywhere, same ordered
+        bucket contents (priority then insertion tie-break)."""
+        rules = generate_classbench("fw", count=250, seed=13, layout=FIVE_TUPLE_LAYOUT)
+        bulk = TupleSpaceTable(FIVE_TUPLE_LAYOUT, rules)
+        incremental = TupleSpaceTable(FIVE_TUPLE_LAYOUT)
+        for r in rules:
+            incremental.add(r)
+        assert len(bulk) == len(incremental) == len(rules)
+        assert bulk.tuple_count == incremental.tuple_count
+        for mask, group in bulk._groups.items():
+            other = incremental._groups[mask]
+            assert group.max_priority == other.max_priority
+            assert {k: [(key, id(r)) for key, r in b] for k, b in group.buckets.items()} \
+                == {k: [(key, id(r)) for key, r in b] for k, b in other.buckets.items()}
+        rng = random.Random(3)
+        probes = [rng.getrandbits(FIVE_TUPLE_LAYOUT.width) for _ in range(200)]
+        probes += [r.match.ternary.sample(rng) for r in rules[:100]]
+        for bits in probes:
+            assert bulk.lookup_bits(bits) is incremental.lookup_bits(bits)
+
     def test_tuple_count_small_on_operator_policies(self):
         """Operator-style policies reuse a handful of mask shapes — the
         regime tuple-space search wins in (synthetic ClassBench draws
