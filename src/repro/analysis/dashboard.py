@@ -1,0 +1,171 @@
+"""ASCII dashboards over a run's metrics document.
+
+``repro report`` reads a saved ``difane-metrics/1`` JSON and renders its
+telemetry section as terminal dashboards: a throughput timeline, cache
+occupancy levels, per-authority redirect load, and the health findings
+table.  Everything here consumes the *document* shapes (plain dicts), so
+dashboards work offline from any archived metrics file.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.analysis.asciiplot import ascii_plot
+from repro.analysis.report import render_table
+from repro.analysis.series import Series
+
+__all__ = [
+    "counter_timeline",
+    "labelled_timelines",
+    "sample_timelines",
+    "authority_load_series",
+    "render_report",
+]
+
+
+def _label_of(key: str) -> str:
+    """A short display label for a rendered metric key."""
+    name, brace, labels = key.partition("{")
+    if not brace:
+        return name
+    # `switch=a1` → `a1`; multi-label keys keep the full label body.
+    body = labels.rstrip("}")
+    parts = [part.partition("=")[2] for part in body.split(",")]
+    return ",".join(parts)
+
+
+def counter_timeline(
+    section: Dict[str, object], name: str, label: Optional[str] = None,
+    per_second: bool = True,
+) -> Series:
+    """Sum of every child of counter ``name``, one point per window.
+
+    With ``per_second`` the window delta is divided by the interval, so
+    the series reads as a rate (events/s) regardless of cadence.
+    """
+    interval = float(section.get("interval_s", 1.0)) or 1.0
+    series = Series(
+        label=label or name,
+        x_label="time (s)",
+        y_label=(name + "/s") if per_second else name,
+    )
+    for window in section.get("windows", []):
+        total = sum(
+            value for key, value in window["counters"].items()
+            if key == name or key.startswith(name + "{")
+        )
+        series.append(window["start"], total / interval if per_second else total)
+    return series
+
+
+def labelled_timelines(
+    section: Dict[str, object], name: str, per_second: bool = False
+) -> List[Series]:
+    """One window-delta series per labelled child of counter ``name``."""
+    interval = float(section.get("interval_s", 1.0)) or 1.0
+    by_key: Dict[str, Series] = {}
+    for window in section.get("windows", []):
+        for key, value in window["counters"].items():
+            if key != name and not key.startswith(name + "{"):
+                continue
+            series = by_key.get(key)
+            if series is None:
+                series = by_key[key] = Series(
+                    label=_label_of(key), x_label="time (s)",
+                    y_label=(name + "/s") if per_second else name,
+                )
+            series.append(
+                window["start"], value / interval if per_second else value
+            )
+    return [by_key[key] for key in sorted(by_key)]
+
+
+def sample_timelines(section: Dict[str, object], prefix: str) -> List[Series]:
+    """One series per sampled level key starting with ``prefix``."""
+    by_key: Dict[str, Series] = {}
+    for window in section.get("windows", []):
+        for key, value in window.get("samples", {}).items():
+            if not key.startswith(prefix):
+                continue
+            series = by_key.get(key)
+            if series is None:
+                series = by_key[key] = Series(
+                    label=_label_of(key), x_label="time (s)", y_label=prefix
+                )
+            series.append(window["start"], value)
+    return [by_key[key] for key in sorted(by_key)]
+
+
+def authority_load_series(section: Dict[str, object]) -> List[Series]:
+    """Per-authority redirect load over time (the balance claim)."""
+    return labelled_timelines(section, "difane_redirects_handled_total")
+
+
+def render_report(document: Dict[str, object], width: int = 64, height: int = 12) -> str:
+    """The full ASCII dashboard for one metrics document."""
+    blocks: List[str] = []
+    title = document.get("title") or document.get("experiment", "run")
+    blocks.append(f"{title}\n{'=' * len(str(title))}")
+    blocks.append(
+        f"experiment: {document.get('experiment', '?')}   "
+        f"schema: {document.get('schema', '?')}"
+    )
+
+    section = document.get("telemetry")
+    if not section:
+        blocks.append(
+            "(no telemetry section — re-run with --telemetry to record "
+            "time series)"
+        )
+    else:
+        windows = section.get("windows", [])
+        blocks.append(
+            f"telemetry: {len(windows)} windows at "
+            f"{section.get('interval_s')}s cadence"
+        )
+        throughput = counter_timeline(
+            section, "packets_delivered_total", label="delivered/s"
+        )
+        injected = counter_timeline(
+            section, "packets_injected_total", label="offered/s"
+        )
+        if len(throughput) or len(injected):
+            blocks.append(ascii_plot(
+                [injected, throughput],
+                width=width, height=height, title="Throughput",
+            ))
+        load = authority_load_series(section)
+        if load:
+            blocks.append(ascii_plot(
+                load, width=width, height=height,
+                title="Authority-switch load (redirects handled per window)",
+            ))
+        occupancy = sample_timelines(section, "difane_cache_occupancy")
+        if occupancy:
+            blocks.append(ascii_plot(
+                occupancy, width=width, height=height,
+                title="Cache occupancy (entries)",
+            ))
+        findings = section.get("findings", [])
+        if findings:
+            blocks.append(render_table(
+                ["window", "severity", "detector", "detail"],
+                [
+                    [f["window"], f["severity"], f["detector"], f["detail"]]
+                    for f in findings
+                ],
+                title=f"Health findings ({len(findings)})",
+            ))
+        else:
+            blocks.append("Health findings: none")
+
+    trace = document.get("trace")
+    if trace:
+        blocks.append(render_table(
+            ["trace", "count"],
+            [[key, trace[key]] for key in sorted(trace)],
+            title="Trace accounting",
+        ))
+
+    return "\n\n".join(blocks) + "\n"

@@ -1,0 +1,195 @@
+"""Compare two metrics documents and summarize regressions.
+
+``repro obs diff A B`` loads two ``difane-metrics/1`` JSON files —
+typically a fresh run against its golden, or a faulty run against a
+fault-free baseline — and reports what changed: counter/gauge deltas,
+histogram shifts, note changes, telemetry window drift, and (most
+important) health findings present in one document but not the other.
+
+The comparison is exact by default (the golden discipline is verbatim
+byte equality); a relative tolerance loosens numeric comparisons for
+cross-machine use.  Identical documents produce an empty diff and the
+CLI exits 0 — the CI step pins that.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+__all__ = ["diff_documents", "render_diff"]
+
+#: Findings at these severities count as regressions when they appear
+#: only in the candidate document.
+_REGRESSION_SEVERITIES = frozenset({"warning", "critical"})
+
+
+def _flatten(prefix: str, value, out: Dict[str, object]) -> None:
+    if isinstance(value, dict):
+        for key in value:
+            _flatten(f"{prefix}.{key}" if prefix else str(key), value[key], out)
+    elif isinstance(value, list):
+        out[prefix] = repr(value)
+    else:
+        out[prefix] = value
+
+
+def _numbers_close(a, b, rel_tolerance: float) -> bool:
+    if rel_tolerance <= 0:
+        return a == b
+    scale = max(abs(a), abs(b))
+    return abs(a - b) <= rel_tolerance * scale
+
+
+def _compare_flat(
+    baseline: Dict[str, object],
+    candidate: Dict[str, object],
+    rel_tolerance: float,
+) -> List[Dict[str, object]]:
+    changes: List[Dict[str, object]] = []
+    for key in sorted(set(baseline) | set(candidate)):
+        if key not in baseline:
+            changes.append({"key": key, "change": "added", "to": candidate[key]})
+        elif key not in candidate:
+            changes.append({"key": key, "change": "removed", "from": baseline[key]})
+        else:
+            a, b = baseline[key], candidate[key]
+            if isinstance(a, (int, float)) and isinstance(b, (int, float)) \
+                    and not isinstance(a, bool) and not isinstance(b, bool):
+                if not _numbers_close(a, b, rel_tolerance):
+                    changes.append(
+                        {"key": key, "change": "changed", "from": a, "to": b}
+                    )
+            elif a != b:
+                changes.append({"key": key, "change": "changed", "from": a, "to": b})
+    return changes
+
+
+def _finding_key(finding: dict) -> tuple:
+    return (
+        finding.get("window"),
+        finding.get("detector"),
+        finding.get("severity"),
+        finding.get("detail"),
+    )
+
+
+def diff_documents(
+    baseline: Dict[str, object],
+    candidate: Dict[str, object],
+    rel_tolerance: float = 0.0,
+) -> Dict[str, object]:
+    """Structured diff of two metrics documents (baseline → candidate)."""
+    sections: Dict[str, List[Dict[str, object]]] = {}
+
+    for label, getter in (
+        ("meta", lambda d: {
+            "schema": d.get("schema"), "experiment": d.get("experiment"),
+        }),
+        ("notes", lambda d: d.get("notes", {})),
+        ("metrics", lambda d: d.get("metrics", {})),
+        ("trace", lambda d: d.get("trace", {})),
+    ):
+        flat_a: Dict[str, object] = {}
+        flat_b: Dict[str, object] = {}
+        _flatten("", getter(baseline), flat_a)
+        _flatten("", getter(candidate), flat_b)
+        changes = _compare_flat(flat_a, flat_b, rel_tolerance)
+        if changes:
+            sections[label] = changes
+
+    telemetry_a = baseline.get("telemetry", {})
+    telemetry_b = candidate.get("telemetry", {})
+    if telemetry_a or telemetry_b:
+        flat_a, flat_b = {}, {}
+        _flatten("", {
+            "interval_s": telemetry_a.get("interval_s"),
+            "windows": {
+                str(w["index"]): {**w["counters"], **w.get("samples", {})}
+                for w in telemetry_a.get("windows", [])
+            },
+        }, flat_a)
+        _flatten("", {
+            "interval_s": telemetry_b.get("interval_s"),
+            "windows": {
+                str(w["index"]): {**w["counters"], **w.get("samples", {})}
+                for w in telemetry_b.get("windows", [])
+            },
+        }, flat_b)
+        changes = _compare_flat(flat_a, flat_b, rel_tolerance)
+        if changes:
+            sections["telemetry"] = changes
+
+    findings_a = {_finding_key(f): f for f in telemetry_a.get("findings", [])}
+    findings_b = {_finding_key(f): f for f in telemetry_b.get("findings", [])}
+    new_findings = [
+        findings_b[key] for key in sorted(
+            findings_b.keys() - findings_a.keys(), key=repr
+        )
+    ]
+    resolved_findings = [
+        findings_a[key] for key in sorted(
+            findings_a.keys() - findings_b.keys(), key=repr
+        )
+    ]
+    regressions = [
+        finding for finding in new_findings
+        if finding.get("severity") in _REGRESSION_SEVERITIES
+    ]
+
+    identical = not sections and not new_findings and not resolved_findings
+    return {
+        "identical": identical,
+        "sections": sections,
+        "new_findings": new_findings,
+        "resolved_findings": resolved_findings,
+        "regressions": regressions,
+    }
+
+
+def _format_value(value) -> str:
+    if isinstance(value, float):
+        return f"{value:g}"
+    return str(value)
+
+
+def render_diff(diff: Dict[str, object], max_rows: int = 40) -> str:
+    """Human-readable rendering of :func:`diff_documents` output."""
+    if diff["identical"]:
+        return "documents are identical\n"
+    lines: List[str] = []
+    for label, changes in diff["sections"].items():
+        lines.append(f"{label}: {len(changes)} difference(s)")
+        for change in changes[:max_rows]:
+            if change["change"] == "added":
+                lines.append(
+                    f"  + {change['key']} = {_format_value(change['to'])}"
+                )
+            elif change["change"] == "removed":
+                lines.append(
+                    f"  - {change['key']} = {_format_value(change['from'])}"
+                )
+            else:
+                lines.append(
+                    f"  ~ {change['key']}: {_format_value(change['from'])} "
+                    f"-> {_format_value(change['to'])}"
+                )
+        if len(changes) > max_rows:
+            lines.append(f"  ... {len(changes) - max_rows} more")
+    for title, findings in (
+        ("new findings", diff["new_findings"]),
+        ("resolved findings", diff["resolved_findings"]),
+    ):
+        if findings:
+            lines.append(f"{title}: {len(findings)}")
+            for finding in findings:
+                lines.append(
+                    f"  [{finding.get('severity')}] window "
+                    f"{finding.get('window')} {finding.get('detector')}: "
+                    f"{finding.get('detail')}"
+                )
+    if diff["regressions"]:
+        lines.append(
+            f"REGRESSION: {len(diff['regressions'])} new "
+            f"warning/critical finding(s) in the candidate document"
+        )
+    return "\n".join(lines) + "\n"

@@ -194,6 +194,37 @@ def main(argv=None) -> int:
                      help="record wall-time histograms around scheduler "
                           "callbacks, engine lookups and channel sends "
                           "(profile_* metrics; excluded from metrics JSON)")
+    run.add_argument("--telemetry", nargs="?", const=True, default=None,
+                     type=float, metavar="INTERVAL",
+                     help="sample per-window time series on a simulated-time "
+                          "cadence (bare flag: default interval; value: "
+                          "seconds per window); adds a difane-telemetry/1 "
+                          "section to the metrics document")
+    run.add_argument("--telemetry-out", metavar="PATH", default=None,
+                     help="write the telemetry windows (and findings) as "
+                          "JSON Lines here; implies --telemetry")
+    run.add_argument("--prom-out", metavar="PATH", default=None,
+                     help="write the run's metrics in Prometheus text "
+                          "exposition format (single experiment only)")
+
+    report = commands.add_parser(
+        "report", help="render a saved metrics document as ASCII dashboards"
+    )
+    report.add_argument("document", help="path to a difane-metrics/1 JSON file")
+    report.add_argument("--width", type=int, default=64)
+    report.add_argument("--height", type=int, default=12)
+
+    obs = commands.add_parser("obs", help="observability tooling")
+    obs_commands = obs.add_subparsers(dest="obs_command", required=True)
+    obs_diff = obs_commands.add_parser(
+        "diff", help="compare two metrics documents and summarize regressions"
+    )
+    obs_diff.add_argument("baseline", help="baseline metrics JSON (e.g. a golden)")
+    obs_diff.add_argument("candidate", help="candidate metrics JSON (a fresh run)")
+    obs_diff.add_argument("--rel-tolerance", type=float, default=0.0,
+                          metavar="FRACTION",
+                          help="relative tolerance for numeric comparisons "
+                               "(default: exact)")
 
     args = parser.parse_args(argv)
 
@@ -201,6 +232,28 @@ def main(argv=None) -> int:
         for key, (description, _) in EXPERIMENTS.items():
             print(f"{key:5s} {description}")
         return 0
+
+    if args.command == "report":
+        from repro.analysis.dashboard import render_report
+
+        with open(args.document) as handle:
+            document = json.load(handle)
+        print(render_report(document, width=args.width, height=args.height),
+              end="")
+        return 0
+
+    if args.command == "obs":
+        from repro.analysis.obsdiff import diff_documents, render_diff
+
+        with open(args.baseline) as handle:
+            baseline = json.load(handle)
+        with open(args.candidate) as handle:
+            candidate = json.load(handle)
+        diff = diff_documents(
+            baseline, candidate, rel_tolerance=args.rel_tolerance
+        )
+        print(render_diff(diff), end="")
+        return 0 if diff["identical"] else 1
 
     wanted = list(EXPERIMENTS) if args.experiment.lower() == "all" else [
         args.experiment.upper()
@@ -224,6 +277,13 @@ def main(argv=None) -> int:
 
     if args.cache_dir is not None:
         configure_artifact_cache(args.cache_dir)
+    telemetry = args.telemetry
+    if telemetry is None and args.telemetry_out:
+        telemetry = True
+    if (args.prom_out or args.telemetry_out) and len(wanted) > 1:
+        print("--prom-out/--telemetry-out support a single experiment, "
+              "not 'all'", file=sys.stderr)
+        return 2
     if args.trace_out and args.jobs and args.jobs != 1:
         # Trace events live in the run context's ring buffer, which does
         # not cross the worker-pool boundary; the sweep runner would fall
@@ -240,7 +300,8 @@ def main(argv=None) -> int:
             # network/component built by the runner binds into it, so
             # the emitted document is exactly this experiment's run.
             context = fresh_run_context(
-                trace=trace_handle is not None, profile=args.profile
+                trace=trace_handle is not None, profile=args.profile,
+                telemetry=telemetry,
             )
             started = time.time()
             result = runner(args.quick, args.jobs)
@@ -250,6 +311,23 @@ def main(argv=None) -> int:
                 documents[key] = metrics_document(result, context=context)
             if trace_handle is not None:
                 context.tracer.write_jsonl(trace_handle, extra={"experiment": key})
+            if args.telemetry_out:
+                from repro.obs.export import write_telemetry_jsonl
+                from repro.obs.telemetry import telemetry_section
+
+                lines = write_telemetry_jsonl(
+                    args.telemetry_out, telemetry_section(context.telemetry)
+                )
+                print(f"telemetry ({lines} lines) written to "
+                      f"{args.telemetry_out}")
+            if args.prom_out:
+                from repro.obs.export import prometheus_text
+
+                with open(args.prom_out, "w") as handle:
+                    handle.write(prometheus_text(context.metrics.snapshot(
+                        exclude_prefixes=("profile_", "artifact_cache_")
+                    )))
+                print(f"prometheus metrics written to {args.prom_out}")
     finally:
         if trace_handle is not None:
             trace_handle.close()

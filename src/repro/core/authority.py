@@ -170,6 +170,15 @@ class DifaneSwitch(DataPlaneSwitch):
         registry = network.metrics
         for stat in self._MIRRORED_STATS:
             self._m[stat] = registry.counter(f"difane_{stat}_total", switch=self.name)
+        # Cache occupancy and (cumulative) evictions are levels, not
+        # counters — they go out as telemetry probe samples so the
+        # registry stays gauge-free (gauge max-merge would break the
+        # --jobs N byte-identity guarantee).  Probes live on the
+        # scheduler, so a later simulation in the same run context never
+        # samples this switch's state.
+        telemetry = getattr(network, "telemetry", None)
+        if telemetry is not None and telemetry.enabled:
+            network.scheduler.add_probe(self._telemetry_probe)
         if self.redirect_rate is not None:
             self._redirect_station = ServiceStation(
                 network.scheduler,
@@ -180,6 +189,15 @@ class DifaneSwitch(DataPlaneSwitch):
                 name=f"{self.name}.redirect",
                 metrics=network.metrics,
             )
+
+    def _telemetry_probe(self) -> dict:
+        """Per-window level samples for the telemetry recorder."""
+        return {
+            f"difane_cache_occupancy{{switch={self.name}}}": float(
+                self.cache.occupancy()
+            ),
+            f"difane_cache_evictions{{switch={self.name}}}": float(self.cache.evicted),
+        }
 
     # -- control plane (optional; wired by connect_control_plane) -----------------
     def connect_control(self, channel) -> None:
@@ -391,7 +409,7 @@ class DifaneSwitch(DataPlaneSwitch):
         original_bits = packet.header_bits
         self._terminal(packet, rule)
         if ingress is not None and ingress != self.name:
-            self._send_cache_install(ingress, rule, original_bits)
+            self._send_cache_install(ingress, rule, original_bits, packet)
         elif ingress == self.name:
             # Degenerate single-switch case: cache locally.
             for cached in self._cache_rules_for(rule, original_bits):
@@ -414,7 +432,9 @@ class DifaneSwitch(DataPlaneSwitch):
         cached = generate_cache_rule(authority_rules, rule, packet_bits)
         return [] if cached is None else [cached]
 
-    def _send_cache_install(self, ingress: str, rule: Rule, packet_bits: int) -> None:
+    def _send_cache_install(
+        self, ingress: str, rule: Rule, packet_bits: int, packet: Optional[Packet] = None
+    ) -> None:
         cached_rules = self._cache_rules_for(rule, packet_bits)
         if not cached_rules:
             return
@@ -425,8 +445,13 @@ class DifaneSwitch(DataPlaneSwitch):
             self.cache_installs_sent += 1
             self._m["cache_installs_sent"].inc()
             if tracer.enabled:
+                # Trace against the triggering packet (when known) so the
+                # flow-causal analyzer can attribute the install stage to
+                # the first packet's span; the rule itself carries no
+                # packet/flow identity.
                 tracer.record(
-                    self._now(), TraceKind.INSTALL_SENT, cached,
+                    self._now(), TraceKind.INSTALL_SENT,
+                    packet if packet is not None else cached,
                     node=self.name, detail=ingress,
                 )
             self.network.scheduler.schedule(delay, target.install_cache_rule, cached)

@@ -33,6 +33,7 @@ from repro.flowspace.fields import FIVE_TUPLE_LAYOUT
 from repro.net.chaos import ChaosSchedule, ChaosSpec
 from repro.net.failures import FailureInjector
 from repro.net.topology import Topology, TopologyBuilder
+from repro.obs import context as _obs_context
 from repro.obs.attribution import attribute_drops
 from repro.openflow.channel import ChannelFaultModel
 from repro.workloads.policies import routing_policy_for_topology
@@ -71,17 +72,27 @@ def run_chaos_soak(
     base_channel_drop: float = 0.05,
     spec: Optional[ChaosSpec] = None,
     bin_width_s: float = 0.05,
+    cache_capacity: int = 128,
+    replication: int = 2,
 ) -> ExperimentResult:
-    """Run the soak; see the module docstring for what it asserts."""
+    """Run the soak; see the module docstring for what it asserts.
+
+    ``cache_capacity`` and ``replication`` expose the resilience knobs
+    the telemetry acceptance scenarios turn: tiny caches keep redirect
+    traffic flowing for the whole soak (so an authority kill shows up in
+    the per-window load series), and ``replication=1`` removes the
+    failover backstop (so a kill orphans partitions and the degraded
+    path — and its critical finding — actually exercises).
+    """
     topo = _campus_with_loss(loss)
     rules, host_ips = routing_policy_for_topology(topo, LAYOUT, seed=seed)
     authorities = ["dist0", "dist1"]
     dn = DifaneNetwork.build(
         topo, rules, LAYOUT,
         authority_switches=authorities,
-        replication=2,
+        replication=replication,
         partitions_per_authority=2,
-        cache_capacity=128,
+        cache_capacity=cache_capacity,
         redirect_rate=None,
         loss_seed=seed,
     )
@@ -157,6 +168,20 @@ def run_chaos_soak(
         rate_timeline(network.deliveries, bin_width_s,
                       delivered_only=False, label="offered/s"),
     ]
+    # With telemetry on, the per-window authority load becomes part of
+    # the result: the series the balance claim (and the imbalance
+    # detector) is judged on.  An authority kill shows up as one curve
+    # collapsing to zero while the survivor absorbs the redirects.
+    recorder = getattr(_obs_context.current(), "telemetry", None)
+    telemetry_windows = None
+    if recorder is not None and recorder.enabled:
+        from repro.analysis.dashboard import authority_load_series
+
+        section = recorder.export()
+        telemetry_windows = len(section["windows"])
+        for load in authority_load_series(section):
+            load.label = f"authority load: {load.label}"
+            series.append(load)
     table_rows = [
         ["delivered", len(delivered)],
         ["dropped", len(dropped)],
@@ -196,6 +221,8 @@ def run_chaos_soak(
         "_planned": list(schedule.planned),
         "_applied": list(injector.events),
     }
+    if telemetry_windows is not None:
+        notes["telemetry_windows"] = telemetry_windows
 
     return ExperimentResult(
         name="C1-chaos-soak",

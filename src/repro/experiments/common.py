@@ -138,4 +138,9 @@ def metrics_document(
     }
     if ctx.tracer.enabled:
         document["trace"] = ctx.tracer.accounting()
+    recorder = getattr(ctx, "telemetry", None)
+    if recorder is not None and recorder.enabled:
+        from repro.obs.telemetry import telemetry_section
+
+        document["telemetry"] = telemetry_section(recorder)
     return document

@@ -55,7 +55,7 @@ class EventScheduler:
     benchmarks rely on this.
     """
 
-    def __init__(self, profiler=None):
+    def __init__(self, profiler=None, telemetry=None):
         self._heap: List[ScheduledEvent] = []
         self._sequence = itertools.count()
         self._now = 0.0
@@ -64,6 +64,24 @@ class EventScheduler:
         #: duration lands in a per-callback stage histogram.  Defaults
         #: to the run context's profiler (a no-op unless profiling on).
         self.profiler = profiler if profiler is not None else _obs_context.current_profiler()
+        #: Optional telemetry recorder; when enabled, the run loop closes
+        #: a sampling window whenever an event crosses the next window
+        #: boundary.  Defaults to the run context's recorder (disabled
+        #: unless the run asked for telemetry).
+        self.telemetry = (
+            telemetry if telemetry is not None else _obs_context.current_telemetry()
+        )
+        #: Probes sampled at each window close: callables returning
+        #: gauge-like levels (cache occupancy, cumulative evictions)
+        #: keyed by rendered metric name.  Components register themselves
+        #: at attach time; probes are per-scheduler so sequential
+        #: simulations in one run never sample each other's state.
+        self.telemetry_probes: List[Callable[[], dict]] = []
+        self._telemetry_index = 0
+
+    def add_probe(self, probe: Callable[[], dict]) -> None:
+        """Register a telemetry probe sampled at every window close."""
+        self.telemetry_probes.append(probe)
 
     @property
     def now(self) -> float:
@@ -107,6 +125,17 @@ class EventScheduler:
         # One branch outside the loop: profiler enablement is fixed at
         # run-context creation, never toggled mid-run.
         profiling = profiler is not None and profiler.enabled
+        # Same hoisting for telemetry: the disabled path (every run unless
+        # --telemetry) pays one comparison per event, nothing else.  An
+        # event at or past the deadline closes the elapsed window(s)
+        # *before* firing, so a window's counter deltas come exactly from
+        # the events inside it.
+        recorder = self.telemetry
+        sampling = recorder is not None and recorder.enabled
+        if sampling:
+            tele_index = self._telemetry_index
+            tele_deadline = recorder.deadline(tele_index)
+            probes = self.telemetry_probes
         while heap:
             if max_events is not None and fired >= max_events:
                 break
@@ -116,6 +145,10 @@ class EventScheduler:
             pop(heap)
             if event.cancelled:
                 continue
+            if sampling and event.time >= tele_deadline:
+                tele_index, tele_deadline = recorder.roll(
+                    tele_index, event.time, probes
+                )
             self._now = event.time
             if profiling:
                 started = _time.perf_counter()
@@ -132,6 +165,11 @@ class EventScheduler:
         self._events_processed += fired
         if until is not None and self._now < until:
             self._now = until
+        if sampling:
+            # Attribute the residual deltas to the trailing (partial)
+            # window; the cursor persists so a continuing run keeps
+            # accumulating into the same absolute-time series.
+            self._telemetry_index = recorder.flush(tele_index, probes)
         return fired
 
     def pending(self) -> int:

@@ -68,6 +68,7 @@ class SimNetwork:
         metrics=None,
         tracer=None,
         profiler=None,
+        telemetry=None,
     ):
         self.topology = topology
         #: Observability surfaces: default to the active run context so
@@ -78,7 +79,10 @@ class SimNetwork:
         self.metrics = metrics if metrics is not None else context.metrics
         self.tracer = tracer if tracer is not None else context.tracer
         self.profiler = profiler if profiler is not None else context.profiler
-        self.scheduler = scheduler or EventScheduler(profiler=self.profiler)
+        self.telemetry = telemetry if telemetry is not None else context.telemetry
+        self.scheduler = scheduler or EventScheduler(
+            profiler=self.profiler, telemetry=self.telemetry
+        )
         self.routes: RoutingTable = compute_routes(topology)
         #: Seed mixed into every link's private loss/jitter RNG.
         self.loss_seed = loss_seed

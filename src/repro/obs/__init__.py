@@ -8,6 +8,15 @@ five per-feature counter surfaces:
 * :mod:`repro.obs.trace` — ring-buffered packet-lifecycle span events
   (ingress → cache-hit/redirect → authority → install → egress, plus
   drop/degradation causes) with JSONL export;
+* :mod:`repro.obs.telemetry` — simulated-time sampling of the registry
+  into per-window time series (``difane-telemetry/1``);
+* :mod:`repro.obs.flowtrace` — flow-causal analysis folding the flat
+  trace stream into per-flow span trees and stage decompositions;
+* :mod:`repro.obs.health` — detectors over telemetry windows
+  (authority-load imbalance, cache churn, degraded mode) emitting
+  structured findings;
+* :mod:`repro.obs.export` — Prometheus text exposition and JSONL
+  time-series export of a run's metrics and telemetry;
 * :mod:`repro.obs.profile` — wall-time stage histograms around event
   callbacks, engine lookups and channel sends;
 * :mod:`repro.obs.attribution` — the canonical drop-reason → bucket
@@ -22,10 +31,12 @@ from repro.obs.context import (
     current,
     current_profiler,
     current_registry,
+    current_telemetry,
     current_tracer,
     fresh_run_context,
     install,
 )
+from repro.obs.flowtrace import FlowTraceAnalysis
 from repro.obs.profile import Profiler, STAGE_HISTOGRAM
 from repro.obs.registry import (
     Counter,
@@ -34,11 +45,19 @@ from repro.obs.registry import (
     MetricsRegistry,
     NULL_METRIC,
 )
+from repro.obs.telemetry import (
+    DEFAULT_TELEMETRY_INTERVAL_S,
+    TELEMETRY_SCHEMA,
+    TelemetryRecorder,
+    telemetry_section,
+)
 from repro.obs.trace import PacketTracer, TraceEvent, TraceKind, records_like
 
 __all__ = [
     "Counter",
+    "DEFAULT_TELEMETRY_INTERVAL_S",
     "DROP_ATTRIBUTION",
+    "FlowTraceAnalysis",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
@@ -47,6 +66,8 @@ __all__ = [
     "Profiler",
     "RunContext",
     "STAGE_HISTOGRAM",
+    "TELEMETRY_SCHEMA",
+    "TelemetryRecorder",
     "TraceEvent",
     "TraceKind",
     "attribute_drops",
@@ -54,8 +75,10 @@ __all__ = [
     "current",
     "current_profiler",
     "current_registry",
+    "current_telemetry",
     "current_tracer",
     "fresh_run_context",
     "install",
     "records_like",
+    "telemetry_section",
 ]

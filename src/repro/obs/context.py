@@ -19,6 +19,7 @@ from dataclasses import dataclass
 
 from repro.obs.profile import Profiler
 from repro.obs.registry import MetricsRegistry
+from repro.obs.telemetry import DEFAULT_TELEMETRY_INTERVAL_S, TelemetryRecorder
 from repro.obs.trace import PacketTracer
 
 __all__ = [
@@ -27,6 +28,7 @@ __all__ = [
     "current_registry",
     "current_tracer",
     "current_profiler",
+    "current_telemetry",
     "fresh_run_context",
     "install",
 ]
@@ -39,6 +41,7 @@ class RunContext:
     metrics: MetricsRegistry
     tracer: PacketTracer
     profiler: Profiler
+    telemetry: TelemetryRecorder
 
 
 def _default_context() -> RunContext:
@@ -47,6 +50,7 @@ def _default_context() -> RunContext:
         metrics=metrics,
         tracer=PacketTracer(enabled=False),
         profiler=Profiler(registry=metrics, enabled=False),
+        telemetry=TelemetryRecorder(registry=metrics, enabled=False),
     )
 
 
@@ -70,6 +74,10 @@ def current_profiler() -> Profiler:
     return _context.profiler
 
 
+def current_telemetry() -> TelemetryRecorder:
+    return _context.telemetry
+
+
 def install(context: RunContext) -> RunContext:
     """Make ``context`` the active run context; returns it."""
     global _context
@@ -82,18 +90,35 @@ def fresh_run_context(
     trace: bool = False,
     trace_capacity: int = 262_144,
     profile: bool = False,
+    telemetry=None,
 ) -> RunContext:
     """Install (and return) a brand-new run context.
 
     Components constructed *after* this call bind to the new surfaces;
     components built earlier keep their old bindings — contexts isolate
     runs, they do not rewire live objects.
+
+    ``telemetry`` accepts ``True`` (sample at the default cadence), a
+    positive float (sample every that-many simulated seconds), or
+    ``None``/``False`` (disabled — no per-event cost in the scheduler).
     """
     metrics = MetricsRegistry(enabled=metrics_enabled)
+    if telemetry is True:
+        interval_s = DEFAULT_TELEMETRY_INTERVAL_S
+    elif telemetry:
+        interval_s = float(telemetry)
+    else:
+        interval_s = DEFAULT_TELEMETRY_INTERVAL_S
+    recorder = TelemetryRecorder(
+        registry=metrics,
+        interval_s=interval_s,
+        enabled=bool(telemetry) and metrics_enabled,
+    )
     return install(
         RunContext(
             metrics=metrics,
             tracer=PacketTracer(capacity=trace_capacity, enabled=trace),
             profiler=Profiler(registry=metrics, enabled=profile),
+            telemetry=recorder,
         )
     )

@@ -1,0 +1,126 @@
+"""Metric export formats: Prometheus text exposition and JSONL series.
+
+Both exporters consume the *snapshot* shapes (the ``metrics`` and
+``telemetry`` sections of a ``difane-metrics/1`` document), not live
+registry objects — so a saved metrics JSON can be re-exported offline,
+and the CLI's ``--prom-out`` / ``--telemetry-out`` share code with
+``repro report`` reading docs from disk.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Dict, Iterable, List, Optional, Tuple
+
+__all__ = ["prometheus_text", "telemetry_jsonl_lines", "write_telemetry_jsonl"]
+
+_KEY = re.compile(r"^(?P<name>[^{]+)(?:\{(?P<labels>.*)\})?$")
+
+
+def _parse_key(key: str) -> Tuple[str, List[Tuple[str, str]]]:
+    """Split a rendered ``name{k=v,...}`` key into name + label pairs."""
+    match = _KEY.match(key)
+    if match is None:  # pragma: no cover - snapshot keys always match
+        return key, []
+    labels = []
+    raw = match.group("labels")
+    if raw:
+        for part in raw.split(","):
+            label, _, value = part.partition("=")
+            labels.append((label, value))
+    return match.group("name"), labels
+
+
+def _prom_labels(labels: Iterable[Tuple[str, str]]) -> str:
+    rendered = ",".join(
+        f'{label}="{value}"' for label, value in labels
+    )
+    return f"{{{rendered}}}" if rendered else ""
+
+
+def _prom_number(value: float) -> str:
+    if value == int(value):
+        return str(int(value))
+    return repr(value)
+
+
+def prometheus_text(metrics: Dict[str, Dict[str, object]]) -> str:
+    """Render a metrics snapshot in Prometheus text exposition format.
+
+    Counters and gauges become single samples; histograms expand to
+    cumulative ``_bucket{le=...}`` samples plus ``_sum`` and ``_count``.
+    Families are emitted sorted by name with one ``# TYPE`` line each.
+    """
+    families: Dict[Tuple[str, str], List[str]] = {}
+
+    for kind in ("counter", "gauge"):
+        for key, value in metrics.get(kind + "s", {}).items():
+            name, labels = _parse_key(key)
+            families.setdefault((name, kind), []).append(
+                f"{name}{_prom_labels(labels)} {_prom_number(float(value))}"
+            )
+
+    for key, hist in metrics.get("histograms", {}).items():
+        name, labels = _parse_key(key)
+        lines = families.setdefault((name, "histogram"), [])
+        cumulative = 0
+        buckets = hist.get("buckets", {})
+
+        def bound(text: str) -> float:
+            return float("inf") if text == "+inf" else float(text)
+
+        for upper in sorted(buckets, key=bound):
+            cumulative += buckets[upper]
+            le = "+Inf" if upper == "+inf" else upper
+            lines.append(
+                f"{name}_bucket{_prom_labels(list(labels) + [('le', le)])} "
+                f"{cumulative}"
+            )
+        if "+inf" not in buckets:
+            lines.append(
+                f"{name}_bucket{_prom_labels(list(labels) + [('le', '+Inf')])} "
+                f"{hist['count']}"
+            )
+        lines.append(f"{name}_sum{_prom_labels(labels)} {_prom_number(hist['sum'])}")
+        lines.append(f"{name}_count{_prom_labels(labels)} {hist['count']}")
+
+    out: List[str] = []
+    for (name, kind), lines in sorted(families.items()):
+        out.append(f"# TYPE {name} {kind}")
+        out.extend(lines)
+    return "\n".join(out) + ("\n" if out else "")
+
+
+def telemetry_jsonl_lines(section: Dict[str, object]) -> List[str]:
+    """One JSON line per telemetry window (time-series friendly)."""
+    lines = []
+    for window in section.get("windows", []):
+        row = {
+            "schema": section.get("schema"),
+            "index": window["index"],
+            "start": window["start"],
+            "end": window["end"],
+            "counters": window["counters"],
+        }
+        if "samples" in window:
+            row["samples"] = window["samples"]
+        lines.append(json.dumps(row, sort_keys=True))
+    return lines
+
+
+def write_telemetry_jsonl(
+    path, section: Dict[str, object], findings: Optional[List[dict]] = None
+) -> int:
+    """Write a telemetry section as JSONL; returns the line count.
+
+    Findings (when given) append after the windows, one line each with a
+    ``"finding"`` wrapper so stream consumers can filter by shape.
+    """
+    lines = telemetry_jsonl_lines(section)
+    for finding in findings if findings is not None else section.get("findings", []):
+        lines.append(json.dumps({"finding": finding}, sort_keys=True))
+    with open(path, "w") as handle:
+        for line in lines:
+            handle.write(line + "\n")
+    return len(lines)

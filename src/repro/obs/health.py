@@ -1,0 +1,227 @@
+"""Health detectors over telemetry windows.
+
+Each detector scans the exported ``difane-telemetry/1`` section and
+emits structured **findings** — dicts with a detector name, severity,
+the window they fired in, and a human-readable detail line.  Findings
+ship inside the metrics document, so golden tests pin them and
+``repro obs diff`` surfaces new ones as regressions.
+
+Detectors (all thresholds are fixed constants: findings must be
+byte-deterministic, so nothing here adapts to the data):
+
+* **authority-imbalance** — Jain's fairness index over the per-window
+  redirect load of the authority switches.  DIFANE's partitioning claim
+  is that load stays balanced; an authority kill (chaos C1) collapses
+  the survivors' fairness and this fires.
+* **degraded-mode** — any window with controller-punt packets
+  (orphaned partitions) is a critical finding: the data-plane-only
+  invariant was violated.
+* **cache-churn** — eviction spikes within one window (thrashing
+  ingress caches under-provisioned for the working set).
+* **top-switches** — informational: the heaviest switches by total
+  data-plane work, for the report dashboards.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional
+
+__all__ = [
+    "evaluate_telemetry",
+    "jain_fairness",
+    "IMBALANCE_FAIRNESS_THRESHOLD",
+    "IMBALANCE_MIN_LOAD",
+    "CACHE_CHURN_THRESHOLD",
+    "TOP_K_SWITCHES",
+]
+
+#: Jain index below which per-window authority load counts as imbalanced
+#: (1.0 = perfectly even; 1/n = one switch carries everything).
+IMBALANCE_FAIRNESS_THRESHOLD = 0.8
+
+#: Minimum redirects in a window before imbalance is judged — tiny
+#: windows are all-noise (one redirect is always "imbalanced").
+IMBALANCE_MIN_LOAD = 8
+
+#: Cache evictions within one window that count as churn.
+CACHE_CHURN_THRESHOLD = 16
+
+#: Switches listed by the informational top-switches finding.
+TOP_K_SWITCHES = 3
+
+_SWITCH_LABEL = re.compile(r"\{switch=([^}]*)\}")
+
+
+def jain_fairness(values: List[float]) -> float:
+    """Jain's fairness index: ``(Σx)² / (n · Σx²)``, 1.0 when empty."""
+    if not values:
+        return 1.0
+    total = sum(values)
+    squares = sum(value * value for value in values)
+    if squares == 0:
+        return 1.0
+    return (total * total) / (len(values) * squares)
+
+
+def _switch_of(key: str) -> Optional[str]:
+    match = _SWITCH_LABEL.search(key)
+    return match.group(1) if match else None
+
+
+def _per_switch(counters: Dict[str, float], prefix: str) -> Dict[str, float]:
+    out: Dict[str, float] = {}
+    for key, value in counters.items():
+        if key.startswith(prefix):
+            switch = _switch_of(key)
+            if switch is not None:
+                out[switch] = out.get(switch, 0.0) + value
+    return out
+
+
+def _finding(detector, severity, window, detail) -> Dict[str, object]:
+    return {
+        "detector": detector,
+        "severity": severity,
+        "window": window["index"],
+        "start": window["start"],
+        "end": window["end"],
+        "detail": detail,
+    }
+
+
+def evaluate_telemetry(section: Dict[str, object]) -> List[Dict[str, object]]:
+    """Run every detector over an exported telemetry section.
+
+    Returns findings sorted by ``(window, detector)`` — a pure function
+    of the section, so identical runs yield identical findings.
+    """
+    windows = section.get("windows", [])
+    findings: List[Dict[str, object]] = []
+
+    # Which switches ever handled redirects: the fairness denominator.
+    # Only switches that are authorities at all should count — an edge
+    # switch that never handles redirects is not "starved".
+    authority_totals: Dict[str, float] = {}
+    for window in windows:
+        for switch, value in _per_switch(
+            window["counters"], "difane_redirects_handled_total"
+        ).items():
+            authority_totals[switch] = authority_totals.get(switch, 0.0) + value
+    authorities = sorted(switch for switch, total in authority_totals.items() if total)
+
+    for window in windows:
+        counters = window["counters"]
+
+        if len(authorities) >= 2:
+            loads = _per_switch(counters, "difane_redirects_handled_total")
+            per_authority = [loads.get(switch, 0.0) for switch in authorities]
+            window_load = sum(per_authority)
+            fairness = jain_fairness(per_authority)
+            if window_load >= IMBALANCE_MIN_LOAD and fairness < IMBALANCE_FAIRNESS_THRESHOLD:
+                shares = ", ".join(
+                    f"{switch}={load:g}"
+                    for switch, load in zip(authorities, per_authority)
+                )
+                findings.append(
+                    _finding(
+                        "authority-imbalance",
+                        "warning",
+                        window,
+                        f"Jain fairness {fairness:.3f} over {window_load:g} "
+                        f"redirects ({shares})",
+                    )
+                )
+
+        degraded = sum(
+            value for key, value in counters.items()
+            if key.startswith("difane_degraded_packets_total")
+        )
+        if degraded > 0:
+            findings.append(
+                _finding(
+                    "degraded-mode",
+                    "critical",
+                    window,
+                    f"{degraded:g} packet(s) fell back to the controller "
+                    f"(orphaned partition)",
+                )
+            )
+
+        churn = sum(
+            value for key, value in counters.items()
+            if key.startswith("cache_evictions_total")
+        )
+        # Evictions also arrive as cumulative probe samples; use the
+        # window-over-window delta of the max-merged level.
+        if not churn:
+            churn = _eviction_delta(windows, window)
+        if churn >= CACHE_CHURN_THRESHOLD:
+            findings.append(
+                _finding(
+                    "cache-churn",
+                    "warning",
+                    window,
+                    f"{churn:g} cache evictions in one window",
+                )
+            )
+
+    top = _top_switches(windows)
+    if top and windows:
+        last = windows[-1]
+        detail = ", ".join(f"{switch}={total:g}" for switch, total in top)
+        findings.append(
+            _finding(
+                "top-switches",
+                "info",
+                last,
+                f"heaviest switches by data-plane work: {detail}",
+            )
+        )
+
+    findings.sort(key=lambda f: (f["window"], f["detector"]))
+    return findings
+
+
+def _eviction_delta(windows, window) -> float:
+    """Eviction increase in ``window`` from cumulative probe samples."""
+    current = _eviction_level(window)
+    if current is None:
+        return 0.0
+    previous = 0.0
+    for earlier in windows:
+        if earlier["index"] >= window["index"]:
+            break
+        level = _eviction_level(earlier)
+        if level is not None:
+            previous = level
+    return max(0.0, current - previous)
+
+
+def _eviction_level(window) -> Optional[float]:
+    samples = window.get("samples")
+    if not samples:
+        return None
+    levels = [
+        value for key, value in samples.items()
+        if key.startswith("difane_cache_evictions")
+    ]
+    return sum(levels) if levels else None
+
+
+_WORK_PREFIXES = (
+    "difane_cache_hits_total",
+    "difane_authority_hits_total",
+    "difane_redirects_out_total",
+    "difane_redirects_handled_total",
+)
+
+
+def _top_switches(windows) -> List:
+    totals: Dict[str, float] = {}
+    for window in windows:
+        for prefix in _WORK_PREFIXES:
+            for switch, value in _per_switch(window["counters"], prefix).items():
+                totals[switch] = totals.get(switch, 0.0) + value
+    ranked = sorted(totals.items(), key=lambda kv: (-kv[1], kv[0]))
+    return ranked[:TOP_K_SWITCHES]

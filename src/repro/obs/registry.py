@@ -136,6 +136,12 @@ class Histogram:
             return None
         if not 0.0 <= q <= 1.0:
             raise ValueError(f"quantile must be in [0, 1], got {q}")
+        # The extreme quantiles are tracked exactly; bucket edges would
+        # only blur them.
+        if q == 0.0:
+            return self.min
+        if q == 1.0:
+            return self.max
         rank = q * (self.count - 1)
         cumulative = 0
         for index, bucket_count in enumerate(self.bucket_counts):
@@ -241,6 +247,17 @@ class MetricsRegistry:
             for (kind, metric_name, _), metric in self._metrics.items()
             if kind == "counter" and metric_name == name
         )
+
+    def counter_items(self) -> Iterable[Tuple[str, str, float]]:
+        """Every counter as ``(name, rendered_key, value)``.
+
+        The telemetry recorder walks this between windows to compute
+        per-window deltas; iteration order is insertion order, which the
+        recorder re-sorts at export time.
+        """
+        for (kind, name, label_key), metric in self._metrics.items():
+            if kind == "counter":
+                yield name, _render_key(name, label_key), metric.value
 
     # -- lifecycle ------------------------------------------------------------
     def reset(self) -> None:

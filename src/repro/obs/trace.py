@@ -114,22 +114,34 @@ class PacketTracer:
         return [event for event in self._events if event.kind == kind]
 
     @property
-    def truncated(self) -> int:
-        """Events pushed out of the ring by newer ones."""
+    def evicted(self) -> int:
+        """Events silently pushed out of the ring by newer ones.
+
+        A non-zero value means the ring budget was exceeded and every
+        count derived from the buffer under-reports — reconciliation
+        against the network's delivery log is only exact when this is 0.
+        """
         return self.recorded - len(self._events)
+
+    #: Historical name for :attr:`evicted`; kept because the property
+    #: suite and external trace consumers read ``truncated``.
+    truncated = evicted
 
     def accounting(self) -> Dict[str, int]:
         """Totals that must reconcile with the network's delivery log.
 
         ``delivered`` and ``dropped`` count terminal events; ``degraded``
         counts controller-punt fallbacks; ``ingress`` counts entries.
-        With ``truncated == 0`` these match ``SimNetwork`` exactly.
+        ``evicted`` (alias ``truncated``) counts ring-buffer evictions:
+        with ``evicted == 0`` the totals match ``SimNetwork`` exactly,
+        otherwise the buffer provably under-reports by that many events.
         """
         totals = {
             "ingress": 0,
             "delivered": 0,
             "dropped": 0,
             "degraded": 0,
+            "evicted": self.evicted,
             "truncated": self.truncated,
         }
         for event in self._events:

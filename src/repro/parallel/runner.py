@@ -51,7 +51,11 @@ def resolve_jobs(jobs: Optional[int]) -> int:
 
 # -- worker side (module-level: must be picklable by reference) -------------
 
-_WORKER_OBS: Dict[str, bool] = {"metrics_enabled": True, "profile": False}
+_WORKER_OBS: Dict[str, Any] = {
+    "metrics_enabled": True,
+    "profile": False,
+    "telemetry_interval_s": None,
+}
 
 
 def _init_worker(
@@ -59,6 +63,7 @@ def _init_worker(
     cache_dir: Optional[str],
     metrics_enabled: bool,
     profile: bool,
+    telemetry_interval_s: Optional[float] = None,
 ) -> None:
     """Propagate process-wide knobs into a freshly started worker."""
     from repro.flowspace.engine import set_default_engine
@@ -68,6 +73,7 @@ def _init_worker(
     configure_artifact_cache(cache_dir)
     _WORKER_OBS["metrics_enabled"] = metrics_enabled
     _WORKER_OBS["profile"] = profile
+    _WORKER_OBS["telemetry_interval_s"] = telemetry_interval_s
 
 
 def _execute_point(fn: Callable[..., Any], params: Dict[str, Any]):
@@ -77,10 +83,17 @@ def _execute_point(fn: Callable[..., Any], params: Dict[str, Any]):
     context = fresh_run_context(
         metrics_enabled=_WORKER_OBS["metrics_enabled"],
         profile=_WORKER_OBS["profile"],
+        telemetry=_WORKER_OBS["telemetry_interval_s"],
     )
     value = fn(**params)
     registry = context.metrics if context.metrics.enabled else None
-    return value, registry
+    # Telemetry windows ship as a plain dict: index → deltas/samples.
+    # The parent folds them window-wise (sum/max), which is associative
+    # and commutative — jobs=N telemetry equals the serial series.
+    telemetry = (
+        context.telemetry.dump_windows() if context.telemetry.enabled else None
+    )
+    return value, registry, telemetry
 
 
 class SweepRunner:
@@ -124,6 +137,7 @@ class SweepRunner:
             str(cache_dir) if cache_dir is not None else None,
             parent.metrics.enabled,
             parent.profiler.enabled,
+            parent.telemetry.interval_s if parent.telemetry.enabled else None,
         )
         try:
             executor = ProcessPoolExecutor(
@@ -142,10 +156,12 @@ class SweepRunner:
             # this is belt-and-braces, not load-bearing).
             outcomes = [future.result() for future in futures]
         values: List[Any] = []
-        for value, registry in outcomes:
+        for value, registry, telemetry in outcomes:
             values.append(value)
             if registry is not None and parent.metrics.enabled:
                 parent.metrics.merge_from(registry)
+            if telemetry is not None and parent.telemetry.enabled:
+                parent.telemetry.merge_dump(telemetry)
         return values
 
     def map_seeded(

@@ -1,0 +1,224 @@
+"""Flow-causal analyzer over hand-built trace event sequences."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.flowtrace import MISS_PATHS, STAGES, FlowTraceAnalysis
+from repro.obs.trace import TraceEvent, TraceKind
+
+
+def _event(time, kind, packet_id=1, flow_id=10, node="a1", **extra):
+    return TraceEvent(
+        time=time, kind=kind, packet_id=packet_id, flow_id=flow_id,
+        node=node, **extra,
+    )
+
+
+def _hit_only(packet_id=1, flow_id=10, start=0.0):
+    return [
+        _event(start, TraceKind.INGRESS, packet_id, flow_id),
+        _event(start + 0.001, TraceKind.CACHE_HIT, packet_id, flow_id),
+        _event(start + 0.003, TraceKind.DELIVERED, packet_id, flow_id, node="h2"),
+    ]
+
+
+def _miss(packet_id=1, flow_id=10, start=0.0):
+    return [
+        _event(start, TraceKind.INGRESS, packet_id, flow_id),
+        _event(start + 0.001, TraceKind.REDIRECT, packet_id, flow_id),
+        _event(start + 0.003, TraceKind.AUTHORITY_HANDLE, packet_id, flow_id,
+               node="dist0"),
+        _event(start + 0.004, TraceKind.INSTALL_SENT, packet_id, flow_id,
+               node="dist0"),
+        _event(start + 0.006, TraceKind.DELIVERED, packet_id, flow_id, node="h2"),
+    ]
+
+
+class TestHandBuiltSequences:
+    def test_hit_only_flow(self):
+        analysis = FlowTraceAnalysis.from_events(_hit_only())
+        (span,) = analysis.spans
+        assert span.path == "cache-hit"
+        assert span.delivered
+        assert span.latency == pytest.approx(0.003)
+        assert span.stages == {
+            "ingress": pytest.approx(0.001),
+            "delivery": pytest.approx(0.002),
+        }
+        assert span.path not in MISS_PATHS
+        assert len(analysis.miss_penalty_cdf()) == 0
+
+    def test_miss_install_then_hit(self):
+        events = _miss(packet_id=1) + _hit_only(packet_id=2, start=0.01)
+        analysis = FlowTraceAnalysis.from_events(events)
+        assert len(analysis.spans) == 2
+        miss, hit = analysis.spans
+        assert miss.path == "redirect"
+        assert miss.stages == {
+            "ingress": pytest.approx(0.001),
+            "redirect": pytest.approx(0.002),
+            "authority-handle": pytest.approx(0.001),
+            "install": pytest.approx(0.002),
+        }
+        assert hit.path == "cache-hit"
+        # Both packets belong to one flow; the miss is its first span.
+        flow = analysis.flows[10]
+        assert [s.packet_id for s in flow.spans] == [1, 2]
+        assert flow.first is miss
+        # The miss-penalty CDF holds exactly that first miss.
+        cdf = analysis.miss_penalty_cdf()
+        assert cdf.points() == [(pytest.approx(6.0), 1.0)]
+
+    def test_degraded_controller_punt_flow(self):
+        events = [
+            _event(0.0, TraceKind.INGRESS),
+            _event(0.001, TraceKind.DEGRADED),
+            _event(0.002, TraceKind.PUNT, node="controller"),
+            _event(0.005, TraceKind.DELIVERED, node="h2"),
+        ]
+        (span,) = FlowTraceAnalysis.from_events(events).spans
+        # DEGRADED outranks PUNT in path precedence…
+        assert span.path == "degraded"
+        assert span.path in MISS_PATHS
+        # …but both segments charge to the controller-punt stage.
+        assert span.stages == {
+            "ingress": pytest.approx(0.001),
+            "controller-punt": pytest.approx(0.004),
+        }
+
+    def test_dropped_first_packet(self):
+        events = [
+            _event(0.0, TraceKind.INGRESS),
+            _event(0.001, TraceKind.REDIRECT),
+            _event(0.002, TraceKind.DROPPED, detail="link-loss"),
+        ]
+        analysis = FlowTraceAnalysis.from_events(events)
+        (span,) = analysis.spans
+        assert not span.delivered
+        assert span.path == "redirect"
+        assert span.latency == pytest.approx(0.002)
+        # Undelivered packets never enter the miss-penalty CDF.
+        assert len(analysis.miss_penalty_cdf()) == 0
+
+    def test_events_after_terminal_are_clamped(self):
+        # An install ack that lands after delivery must not stretch the
+        # span or leak time into any stage.
+        events = _hit_only() + [
+            _event(0.009, TraceKind.INSTALL_RECEIVED),
+        ]
+        (span,) = FlowTraceAnalysis.from_events(events).spans
+        assert span.end == pytest.approx(0.003)
+        assert sum(span.stages.values()) == pytest.approx(span.latency)
+
+    def test_unattributed_events_counted_not_folded(self):
+        events = _hit_only() + [
+            _event(0.002, TraceKind.INSTALL_RECEIVED, packet_id=None),
+        ]
+        analysis = FlowTraceAnalysis.from_events(events)
+        assert analysis.unattributed == 1
+        assert len(analysis.spans) == 1
+
+    def test_accepts_jsonl_dict_rows(self):
+        rows = [
+            {"time": 0.0, "kind": "ingress", "packet_id": 1, "flow_id": 3,
+             "node": "a1"},
+            {"time": 0.002, "kind": "cache-hit", "packet_id": 1, "flow_id": 3,
+             "node": "a1"},
+            {"time": 0.004, "kind": "delivered", "packet_id": 1, "flow_id": 3,
+             "node": "h2"},
+        ]
+        (span,) = FlowTraceAnalysis.from_events(rows).spans
+        assert span.path == "cache-hit"
+        assert span.flow_id == 3
+
+    def test_same_timestamp_ties_break_by_arrival_order(self):
+        events = [
+            _event(0.0, TraceKind.INGRESS),
+            _event(0.0, TraceKind.CACHE_HIT),
+            _event(0.001, TraceKind.DELIVERED, node="h2"),
+        ]
+        (span,) = FlowTraceAnalysis.from_events(events).spans
+        assert [e.kind for e in span.events] == [
+            TraceKind.INGRESS, TraceKind.CACHE_HIT, TraceKind.DELIVERED,
+        ]
+        assert span.stages == {"delivery": pytest.approx(0.001)}
+
+
+class TestAggregates:
+    def test_stage_totals_follow_canonical_order(self):
+        events = _miss(packet_id=1) + _hit_only(packet_id=2, flow_id=11, start=0.01)
+        totals = FlowTraceAnalysis.from_events(events).stage_totals()
+        assert list(totals) == [s for s in STAGES if s in totals]
+        assert sum(totals.values()) == pytest.approx(0.006 + 0.003)
+
+    def test_top_flows_deterministic_ranking(self):
+        events = (
+            _miss(packet_id=1, flow_id=10)
+            + _hit_only(packet_id=2, flow_id=10, start=0.01)
+            + _hit_only(packet_id=3, flow_id=11, start=0.02)
+        )
+        analysis = FlowTraceAnalysis.from_events(events)
+        rows = analysis.top_flows(k=2)
+        assert rows[0][:2] == (10, 2)
+        assert rows[1][:2] == (11, 1)
+
+    def test_summary_shape(self):
+        events = _miss() + _hit_only(packet_id=2, flow_id=11, start=0.01)
+        summary = FlowTraceAnalysis.from_events(events).summary()
+        assert summary["packets"] == 2
+        assert summary["flows"] == 2
+        assert summary["paths"] == {"cache-hit": 1, "redirect": 1}
+        assert summary["miss_penalty_samples"] == 1
+        assert summary["miss_penalty_p50_ms"] == pytest.approx(6.0)
+
+
+# -- property: the stage decomposition telescopes ---------------------------
+
+_KINDS = [
+    TraceKind.INGRESS, TraceKind.CACHE_HIT, TraceKind.AUTHORITY_HIT,
+    TraceKind.REDIRECT, TraceKind.FAILOVER, TraceKind.DEGRADED,
+    TraceKind.AUTHORITY_HANDLE, TraceKind.PUNT,
+    TraceKind.INSTALL_SENT, TraceKind.INSTALL_RECEIVED,
+]
+
+_deltas = st.floats(min_value=0.0, max_value=0.01, allow_nan=False)
+
+
+@st.composite
+def _packet_history(draw):
+    """INGRESS, a random middle, a terminal, and optional stragglers."""
+    kinds = draw(st.lists(st.sampled_from(_KINDS), min_size=0, max_size=6))
+    terminal = draw(st.sampled_from([TraceKind.DELIVERED, TraceKind.DROPPED]))
+    tail = draw(st.lists(st.sampled_from(_KINDS), min_size=0, max_size=2))
+    sequence = [TraceKind.INGRESS] + kinds + [terminal] + tail
+    deltas = draw(st.lists(_deltas, min_size=len(sequence), max_size=len(sequence)))
+    events, now = [], 0.0
+    for kind, delta in zip(sequence, deltas):
+        now += delta
+        events.append(_event(now, kind))
+    return events
+
+
+@given(_packet_history())
+@settings(max_examples=200, deadline=None)
+def test_stage_decomposition_sums_to_terminal_latency(events):
+    (span,) = FlowTraceAnalysis.from_events(events).spans
+    assert sum(span.stages.values()) == pytest.approx(span.latency, abs=1e-12)
+    assert all(duration >= 0 for duration in span.stages.values())
+    assert span.latency >= 0
+
+
+@given(st.lists(_packet_history(), min_size=1, max_size=5))
+@settings(max_examples=50, deadline=None)
+def test_telescoping_holds_across_many_packets(histories):
+    events = []
+    for packet_id, history in enumerate(histories, start=1):
+        for event in history:
+            event.packet_id = packet_id
+            event.flow_id = packet_id % 2
+        events.extend(history)
+    analysis = FlowTraceAnalysis.from_events(events)
+    assert len(analysis.spans) == len(histories)
+    for span in analysis.spans:
+        assert sum(span.stages.values()) == pytest.approx(span.latency, abs=1e-12)

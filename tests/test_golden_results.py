@@ -29,9 +29,14 @@ GOLDENS_DIR = pathlib.Path(__file__).parent / "goldens"
 
 @pytest.fixture
 def run_context():
-    """A fresh observability context, restored to the previous one after."""
+    """A fresh observability context, restored to the previous one after.
+
+    Telemetry is on, so the goldens also pin the ``difane-telemetry/1``
+    section: window boundaries, per-window counter deltas, probe levels
+    and health findings are all part of the regression surface.
+    """
     previous = obs_context.current()
-    context = fresh_run_context(trace=True)
+    context = fresh_run_context(trace=True, telemetry=True)
     yield context
     obs_context.install(previous)
 
@@ -87,7 +92,7 @@ def test_golden_runs_are_deterministic():
     previous = obs_context.current()
     try:
         for _ in range(2):
-            context = fresh_run_context(trace=True)
+            context = fresh_run_context(trace=True, telemetry=True)
             result = _run_e4()
             documents.append(
                 json.loads(json.dumps(metrics_document(result, context=context)))
@@ -95,3 +100,28 @@ def test_golden_runs_are_deterministic():
     finally:
         obs_context.install(previous)
     assert documents[0] == documents[1]
+
+
+def test_parallel_telemetry_matches_serial():
+    """``--jobs 2`` telemetry must be byte-identical to ``--jobs 1``.
+
+    Worker recorders dump their windows and the parent merges them
+    window-wise (counter deltas sum, probe levels max); because both
+    operations are associative and commutative, the merged section —
+    and therefore the serialized document — cannot depend on worker
+    scheduling.
+    """
+    from repro.experiments.delay import run_delay
+
+    texts = []
+    previous = obs_context.current()
+    try:
+        for jobs in (1, 2):
+            context = fresh_run_context(trace=True, telemetry=True)
+            result = run_delay(flows=40, jobs=jobs)
+            document = metrics_document(result, context=context)
+            assert document["telemetry"]["windows"], "telemetry never sampled"
+            texts.append(json.dumps(document, indent=2, sort_keys=True))
+    finally:
+        obs_context.install(previous)
+    assert texts[0] == texts[1]

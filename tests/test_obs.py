@@ -90,6 +90,54 @@ class TestRegistry:
             a.merge_from(b)
 
 
+class TestHistogramQuantileBoundaries:
+    def test_empty_histogram_has_no_quantile(self):
+        assert Histogram().quantile(0.5) is None
+
+    def test_q_outside_unit_interval_rejected(self):
+        hist = Histogram()
+        hist.observe(1.0)
+        with pytest.raises(ValueError):
+            hist.quantile(-0.01)
+        with pytest.raises(ValueError):
+            hist.quantile(1.01)
+
+    def test_q0_and_q1_are_observed_extremes(self):
+        hist = Histogram(bounds=(1.0, 10.0, 100.0))
+        for value in (0.5, 3.0, 42.0):
+            hist.observe(value)
+        assert hist.quantile(0.0) == 0.5
+        assert hist.quantile(1.0) == 42.0
+
+    def test_single_observation_every_quantile_is_it(self):
+        hist = Histogram(bounds=(1.0, 10.0))
+        hist.observe(7.0)
+        for q in (0.0, 0.25, 0.5, 0.99, 1.0):
+            assert hist.quantile(q) == 7.0
+
+    def test_quantiles_clamped_after_merge(self):
+        # After a merge the combined min/max must still bound every
+        # quantile, even where the winning bucket's edges lie outside
+        # the merged observed range.
+        low, high = Histogram(bounds=(1.0, 10.0)), Histogram(bounds=(1.0, 10.0))
+        low.observe(0.25)
+        low.observe(0.5)
+        high.observe(20.0)
+        low.merge_from(high)
+        assert low.count == 3
+        assert low.quantile(0.0) == 0.25
+        assert low.quantile(1.0) == 20.0
+        for q in (0.1, 0.5, 0.9):
+            assert 0.25 <= low.quantile(q) <= 20.0
+
+    def test_merge_into_empty_preserves_quantiles(self):
+        empty, full = Histogram(), Histogram()
+        full.observe(2e-3)
+        empty.merge_from(full)
+        assert empty.quantile(0.0) == 2e-3
+        assert empty.quantile(1.0) == 2e-3
+
+
 # -- tracer -----------------------------------------------------------------------
 
 class TestTracer:
@@ -105,8 +153,10 @@ class TestTracer:
             tracer.record(float(index), TraceKind.INGRESS, _FakePacket(index))
         assert len(tracer) == 3
         assert tracer.truncated == 2
+        assert tracer.evicted == 2
         assert [e.packet_id for e in tracer.events()] == [2, 3, 4]
         assert tracer.accounting()["truncated"] == 2
+        assert tracer.accounting()["evicted"] == 2
 
     def test_accounting_counts_kinds(self):
         tracer = PacketTracer(enabled=True)
@@ -118,7 +168,7 @@ class TestTracer:
         accounting = tracer.accounting()
         assert accounting == {
             "ingress": 2, "delivered": 1, "dropped": 1,
-            "degraded": 1, "truncated": 0,
+            "degraded": 1, "evicted": 0, "truncated": 0,
         }
 
     def test_jsonl_export_roundtrip(self, tmp_path):
