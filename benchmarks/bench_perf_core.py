@@ -326,3 +326,169 @@ def test_perf_partitioner_10k(benchmark):
     )
     assert len(result.partitions) == 64
     assert result.duplication_factor < 8.0
+
+
+def test_perf_columnar_throughput(benchmark, archive):
+    """Injected-packet throughput: columnar batch path vs the scalar oracle.
+
+    One A6-shaped burst workload (star fabric, Zipf host-pair flows, no
+    redirect-rate cap) runs end to end under every scalar match engine and
+    under the columnar batch path, and the injected-packets/s rates are
+    archived as text and as ``perf-columnar.json``.  The gate is the
+    columnar refactor's reason to exist: the batch path must clear 5× the
+    scalar linear-engine rate (measured speedups land north of 15×; the
+    gate is set low to be robust to shared-machine noise).
+    """
+    from repro.core.controller import DifaneNetwork
+    from repro.flowspace.batch import set_columnar
+    from repro.flowspace.engine import get_default_engine, set_default_engine
+    from repro.net.topology import TopologyBuilder
+    from repro.obs import context as obs_context
+    from repro.obs import fresh_run_context
+    from repro.workloads.batches import host_pair_batches
+    from repro.workloads.policies import routing_policy_for_topology
+
+    bursts, burst_size = 40, 2_000
+
+    def run_workload(columnar: bool, engine: str) -> float:
+        """One full simulation; returns injected packets per second."""
+        set_columnar(columnar)
+        set_default_engine(engine)
+        fresh_run_context()
+        topo = TopologyBuilder.star(leaf_count=4, hosts_per_leaf=2)
+        rules, host_ips = routing_policy_for_topology(topo, LAYOUT)
+        facade = DifaneNetwork.build(
+            topo, rules, LAYOUT, authority_count=2, cache_capacity=256,
+            redirect_rate=None,
+        )
+        schedule = host_pair_batches(
+            topo, host_ips, LAYOUT, bursts=bursts, burst_size=burst_size,
+            hot_flows=32, alpha=1.0, seed=7,
+        )
+        total = sum(len(tb) for tb in schedule)
+        started = time.perf_counter()
+        for tb in schedule:
+            facade.send_batch_at(tb.time, tb.switch, tb.batch)
+        facade.run()
+        return total / (time.perf_counter() - started)
+
+    previous_engine = get_default_engine()
+    previous_context = obs_context.current()
+
+    def compare():
+        rows = []
+        for label, columnar, engine in (
+            ("scalar/linear", False, "linear"),
+            ("scalar/tuplespace", False, "tuplespace"),
+            ("scalar/dtree", False, "dtree"),
+            ("columnar", True, "linear"),
+        ):
+            rate = max(run_workload(columnar, engine) for _ in range(2))
+            rows.append({
+                "configuration": label,
+                "columnar": columnar,
+                "engine": engine,
+                "injected_packets_per_s": round(rate, 1),
+            })
+        baseline = rows[0]["injected_packets_per_s"]
+        for row in rows:
+            row["speedup_vs_scalar_linear"] = round(
+                row["injected_packets_per_s"] / baseline, 2
+            )
+        return rows
+
+    try:
+        rows = run_once(benchmark, compare)
+    finally:
+        set_columnar(False)
+        set_default_engine(previous_engine)
+        obs_context.install(previous_context)
+
+    report = {
+        "workload": (
+            f"star-4 DIFANE, {bursts} bursts x {burst_size} packets, "
+            "32 hot flows, cache_capacity=256, redirect_rate=None"
+        ),
+        "rows": rows,
+    }
+    lines = [
+        "Injected-packet throughput: columnar batch path vs scalar oracle",
+        "",
+        f"workload: {report['workload']}",
+        f"{'configuration':<20} {'pkts/s':>12} {'vs scalar/linear':>17}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row['configuration']:<20} {row['injected_packets_per_s']:>12,.0f} "
+            f"{row['speedup_vs_scalar_linear']:>16.2f}x"
+        )
+    archive("perf-columnar", "\n".join(lines))
+    (RESULTS_DIR / "perf-columnar.json").write_text(json.dumps(report, indent=2) + "\n")
+
+    columnar_speedup = rows[-1]["speedup_vs_scalar_linear"]
+    assert columnar_speedup >= 5.0, (
+        f"columnar path only {columnar_speedup}x over scalar/linear"
+    )
+
+
+def test_perf_slots_structs(benchmark):
+    """Construction cost of the per-packet hot structs after __slots__.
+
+    ``DeliveryRecord`` and ``TimedPacket`` are built once per packet on
+    the scalar path; __slots__ drops the per-instance ``__dict__``.  The
+    benchmark times the real classes and prints the delta against
+    dict-based doppelgangers built in place.
+    """
+    from repro.net.simnet import DeliveryRecord
+    from repro.flowspace.packet import Packet
+    from repro.workloads.traffic import TimedPacket
+
+    class DictRecord:  # the pre-refactor shape: attributes in a __dict__
+        def __init__(self, packet_id, flow_id, created_at, finished_at,
+                     delivered, hops, via_authority, via_controller,
+                     ingress_switch, endpoint, drop_reason=None):
+            self.packet_id = packet_id
+            self.flow_id = flow_id
+            self.created_at = created_at
+            self.finished_at = finished_at
+            self.delivered = delivered
+            self.hops = hops
+            self.via_authority = via_authority
+            self.via_controller = via_controller
+            self.ingress_switch = ingress_switch
+            self.endpoint = endpoint
+            self.drop_reason = drop_reason
+
+    count = 2_000
+
+    def build(cls):
+        return [
+            cls(i, i % 64, 0.0, 1e-3, True, 3, False, False, "e1", "h2")
+            for i in range(count)
+        ]
+
+    # The hot structs must stay dict-free (the point of __slots__).
+    sample = build(DeliveryRecord)[0]
+    assert not hasattr(sample, "__dict__")
+    packet = Packet.from_fields(LAYOUT, flow_id=0, nw_proto=6)
+    assert not hasattr(packet, "__dict__")
+    assert not hasattr(TimedPacket(0.0, "h1", packet), "__dict__")
+
+    records = benchmark(lambda: build(DeliveryRecord))
+    assert len(records) == count
+
+    def best_of(cls, repeats: int = 5) -> float:
+        best = float("inf")
+        for _ in range(repeats):
+            started = time.perf_counter()
+            build(cls)
+            best = min(best, time.perf_counter() - started)
+        return best
+
+    slots_s = best_of(DeliveryRecord)
+    dict_s = best_of(DictRecord)
+    print(
+        f"\nDeliveryRecord x{count}: __slots__ {slots_s * 1e3:.2f} ms, "
+        f"__dict__ {dict_s * 1e3:.2f} ms "
+        f"({dict_s / slots_s:.2f}x slower with __dict__)"
+    )

@@ -23,12 +23,38 @@ from typing import Callable, Dict, Tuple
 
 from repro.analysis.asciiplot import ascii_plot
 from repro.analysis.report import render_series_table, render_table
-from repro.experiments.common import ExperimentResult, metrics_document
+from repro.experiments.common import METRICS_SCHEMA, ExperimentResult, metrics_document
+from repro.flowspace.batch import set_columnar
 from repro.flowspace.engine import ENGINE_CHOICES, set_default_engine
 from repro.obs import fresh_run_context
 from repro.parallel.cache import DEFAULT_CACHE_DIR, configure_artifact_cache
 
 __all__ = ["main"]
+
+
+def _load_metrics_document(path: str):
+    """Read and validate a metrics JSON file for report / obs diff.
+
+    Returns the decoded document, or ``None`` after printing a one-line
+    diagnostic to stderr — missing files, unreadable JSON and foreign
+    schemas are user errors (exit code 2), not tracebacks.
+    """
+    try:
+        with open(path) as handle:
+            document = json.load(handle)
+    except OSError as error:
+        print(f"error: cannot read metrics document {path!r}: "
+              f"{error.strerror or error}", file=sys.stderr)
+        return None
+    except json.JSONDecodeError as error:
+        print(f"error: {path!r} is not valid JSON ({error})", file=sys.stderr)
+        return None
+    if not isinstance(document, dict) or document.get("schema") != METRICS_SCHEMA:
+        found = document.get("schema") if isinstance(document, dict) else type(document).__name__
+        print(f"error: {path!r} is not a {METRICS_SCHEMA} document "
+              f"(schema: {found!r})", file=sys.stderr)
+        return None
+    return document
 
 
 def _e1(quick: bool, jobs=None) -> ExperimentResult:
@@ -167,6 +193,13 @@ def main(argv=None) -> int:
     run.add_argument("--engine", choices=ENGINE_CHOICES, default=None,
                      help="match-engine backend for every classifier "
                           "(default: linear)")
+    run.add_argument("--columnar", action="store_true", default=False,
+                     help="enable the columnar (struct-of-arrays) burst "
+                          "fast path; observable output is identical to "
+                          "the scalar default")
+    run.add_argument("--no-columnar", dest="columnar", action="store_false",
+                     help="force the scalar per-packet oracle path "
+                          "(the default)")
     run.add_argument("--jobs", type=int, default=None, metavar="N",
                      help="fan sweep points out over N worker processes "
                           "(0 = all cores); output is identical to a "
@@ -236,8 +269,9 @@ def main(argv=None) -> int:
     if args.command == "report":
         from repro.analysis.dashboard import render_report
 
-        with open(args.document) as handle:
-            document = json.load(handle)
+        document = _load_metrics_document(args.document)
+        if document is None:
+            return 2
         print(render_report(document, width=args.width, height=args.height),
               end="")
         return 0
@@ -245,10 +279,10 @@ def main(argv=None) -> int:
     if args.command == "obs":
         from repro.analysis.obsdiff import diff_documents, render_diff
 
-        with open(args.baseline) as handle:
-            baseline = json.load(handle)
-        with open(args.candidate) as handle:
-            candidate = json.load(handle)
+        baseline = _load_metrics_document(args.baseline)
+        candidate = _load_metrics_document(args.candidate)
+        if baseline is None or candidate is None:
+            return 2
         diff = diff_documents(
             baseline, candidate, rel_tolerance=args.rel_tolerance
         )
@@ -267,6 +301,9 @@ def main(argv=None) -> int:
         # Process-wide default: every classifier the experiments build —
         # pipelines, policy tables, cache simulators — resolves to this.
         set_default_engine(args.engine)
+    # Columnar mode is process-wide like the engine default; workers
+    # inherit it through the sweep runner's initializer.
+    set_columnar(args.columnar)
 
     if args.chaos_seed is not None:
         CHAOS_OPTIONS["seed"] = args.chaos_seed

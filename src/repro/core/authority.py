@@ -345,6 +345,216 @@ class DifaneSwitch(DataPlaneSwitch):
         for packet, result in zip(ingress, self.pipeline.lookup_batch(ingress, now)):
             self._classified(packet, result, now)
 
+    # -- the columnar data plane ---------------------------------------------------
+    def process_packet_batch(self, batch) -> None:
+        """Columnar :meth:`process`: classify and act on a whole batch.
+
+        Counters, rule statistics, delivery records and traces land
+        exactly as per-packet :meth:`process` calls would — only event
+        granularity (one per batch hop instead of one per packet hop) and
+        same-instant ordering differ, neither of which the metrics
+        document can observe.  Capacity-bounded paths (the redirect
+        station) are defined per packet and degrade to the scalar path.
+        """
+        now = self._now()
+        if batch.encap_destination is not None:
+            if batch.encap_destination != self.name:
+                # Transit: tunnel the whole batch one hop, no reclassify.
+                self.network.forward_batch_toward(
+                    self.name, batch.encap_destination, batch
+                )
+                return
+            if self._redirect_station is not None:
+                # The redirect budget is per packet; feed the station the
+                # scalar view so queueing/loss behaviour is unchanged.
+                for packet in batch.packets():
+                    self._redirect_station.submit(packet)
+                return
+            self._handle_redirect_batch(batch)
+            return
+
+        tracer = self.network.tracer
+        for stage, rule, indices in self.pipeline.classify_batch(batch, now):
+            sub = batch.select(indices)
+            count = len(indices)
+            if stage is PipelineStage.CACHE:
+                self.cache_hits += count
+                self._m["cache_hits"].inc(count)
+                if tracer.enabled:
+                    tracer.record_batch(
+                        now, TraceKind.CACHE_HIT, sub.packets(), node=self.name
+                    )
+                self._terminal_batch(sub, rule)
+            elif stage is PipelineStage.AUTHORITY:
+                self.authority_hits += count
+                self._m["authority_hits"].inc(count)
+                if tracer.enabled:
+                    tracer.record_batch(
+                        now, TraceKind.AUTHORITY_HIT, sub.packets(), node=self.name
+                    )
+                self._terminal_batch(sub, rule)
+            elif stage is PipelineStage.PARTITION:
+                self.redirects_out += count
+                self._m["redirects_out"].inc(count)
+                sub.via_authority[:] = True
+                if tracer.enabled:
+                    tracer.record_batch(
+                        now, TraceKind.REDIRECT, sub.packets(), node=self.name
+                    )
+                self._redirect_batch_via_partition(sub, rule)
+            else:
+                self.unmatched += count
+                self._m["unmatched"].inc(count)
+                self.network.record_drop_batch(sub, self.name, "no matching rule")
+
+    def _redirect_batch_via_partition(self, batch, rule: Rule) -> None:
+        """Batch analogue of :meth:`_redirect_via_partition`.
+
+        Destination resolution (primary reachability, backup failover)
+        depends only on the partition rule and current routes, so it is
+        computed once per group; the rare degraded path (orphaned
+        partition → controller punt) is inherently per packet and
+        materializes the scalar view.
+        """
+        count = len(batch)
+        action = rule.actions.actions[0]
+        destination = action.destination
+        if not self.network.routes.reachable(self.name, destination):
+            for backup in getattr(action, "backups", ()):
+                if self.network.routes.reachable(self.name, backup):
+                    destination = backup
+                    self.failovers += count
+                    self._m["failovers"].inc(count)
+                    if self.network.tracer.enabled:
+                        self.network.tracer.record_batch(
+                            self._now(), TraceKind.FAILOVER, batch.packets(),
+                            node=self.name, detail=backup,
+                        )
+                    break
+            else:
+                if self.control_channel is not None:
+                    self.degraded_packets += count
+                    self._m["degraded_packets"].inc(count)
+                    for packet in batch.packets():
+                        packet.via_controller = True
+                        if self.network.tracer.enabled:
+                            self.network.tracer.record(
+                                self._now(), TraceKind.DEGRADED, packet,
+                                node=self.name,
+                            )
+                        self.control_channel.send_to_controller(
+                            PacketIn(switch=self.name, packet=packet)
+                        )
+                    return
+                self.network.record_drop_batch(
+                    batch, self.name, "authority unreachable"
+                )
+                return
+        batch.encapsulate(destination)
+        self.network.forward_batch_toward(self.name, destination, batch)
+
+    def _handle_redirect_batch(self, batch) -> None:
+        """Authority-path processing of a redirected batch.
+
+        Install decisions are made **per unique flow**: the win-fragment
+        computation (:func:`generate_cache_rule`) runs once per distinct
+        header in the batch, while the install messages and counters stay
+        per packet — exactly what the scalar path produces, minus the
+        redundant recomputation.
+        """
+        count = len(batch)
+        self.redirects_handled += count
+        self._m["redirects_handled"].inc(count)
+        batch.decapsulate()
+        now = self._now()
+        tracer = self.network.tracer
+        if tracer.enabled:
+            tracer.record_batch(
+                now, TraceKind.AUTHORITY_HANDLE, batch.packets(), node=self.name
+            )
+        winners, rules = self.pipeline.authority.match_batch(batch, now)
+        missed = [i for i, w in enumerate(winners) if w < 0]
+        if missed:
+            self.unmatched += len(missed)
+            self.network.record_drop_batch(
+                batch.select(missed), self.name, "authority miss"
+            )
+        groups: dict = {}
+        for i, winner in enumerate(winners):
+            if winner >= 0:
+                groups.setdefault(int(winner), []).append(i)
+        ingress = batch.ingress_switch
+        for winner, indices in groups.items():
+            rule = rules[winner]
+            sub = batch.select(indices)
+            # Snapshot headers before terminal actions (SetField rewrites
+            # would corrupt the win-fragment computation — the cache rule
+            # must match packets as they arrived at the ingress switch).
+            original_bits = sub.header_bits_list()
+            sub_packets = sub.packets() if tracer.enabled else None
+            self._terminal_batch(sub, rule)
+            if ingress is None:
+                continue
+            # Group the sub-batch by unique flow so the expensive cache
+            # rule generation runs once per flow, not once per packet.
+            flows: dict = {}
+            for position, bits in enumerate(original_bits):
+                flows.setdefault(bits, []).append(position)
+            if ingress != self.name:
+                target = self.network.node(ingress)
+                delay = self.install_latency_s + self.network.routes.distance(
+                    self.name, ingress
+                )
+                for bits, positions in flows.items():
+                    cached_rules = self._cache_rules_for(rule, bits)
+                    repeat = len(positions)
+                    for cached in cached_rules:
+                        self.cache_installs_sent += repeat
+                        self._m["cache_installs_sent"].inc(repeat)
+                        if tracer.enabled:
+                            for position in positions:
+                                tracer.record(
+                                    self._now(), TraceKind.INSTALL_SENT,
+                                    sub_packets[position],
+                                    node=self.name, detail=ingress,
+                                )
+                        self.network.scheduler.schedule_batch(
+                            delay, target.install_cache_rule_times, cached, repeat
+                        )
+            else:
+                # Degenerate single-switch case: cache locally.
+                for bits, positions in flows.items():
+                    for cached in self._cache_rules_for(rule, bits):
+                        self.install_cache_rule_times(cached, len(positions))
+
+    def install_cache_rule_times(self, rule: Rule, count: int) -> None:
+        """Absorb ``count`` identical in-band installs in one call.
+
+        The scalar path sends one install message per redirected packet;
+        the columnar sender collapses a same-flow group into one event
+        carrying the multiplicity.  Looping here keeps every counter and
+        the duplicate-refresh behaviour of :class:`CacheManager` identical
+        to ``count`` separate messages.
+        """
+        for _ in range(count):
+            self.install_cache_rule(rule)
+
+    def _terminal_batch(self, batch, rule: Rule) -> None:
+        """Batch analogue of :meth:`_terminal` (same action semantics)."""
+        for action in rule.actions:
+            if isinstance(action, SetField):
+                batch.set_field(action.field_name, action.value)
+            elif isinstance(action, Drop):
+                self.network.record_drop_batch(batch, self.name, "policy drop")
+                return
+            elif isinstance(action, Forward):
+                batch.encapsulate(action.port)
+                self.network.forward_batch_toward(self.name, action.port, batch)
+                return
+            else:
+                break
+        self.network.record_drop_batch(batch, self.name, "no terminal action")
+
     def _redirect_via_partition(self, packet: Packet, rule: Rule) -> None:
         """Tunnel a miss to its authority switch, failing over to backups.
 

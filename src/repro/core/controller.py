@@ -835,6 +835,18 @@ class DifaneNetwork:
             time, self.network.inject_from_host, host, packet
         )
 
+    def send_batch_at(self, time: float, switch: str, batch) -> None:
+        """Schedule a columnar batch injection at ``switch`` at ``time``.
+
+        One scheduler event carries the whole same-instant burst (see
+        :meth:`SimNetwork.inject_batch_at_switch`); with columnar mode off
+        the batch degrades to the scalar burst path at fire time, so the
+        same workload schedule drives either mode.
+        """
+        self.network.scheduler.schedule_at(
+            time, self.network.inject_batch_at_switch, switch, batch
+        )
+
     def run(self, until: Optional[float] = None) -> int:
         """Run the event loop."""
         return self.network.run(until=until)

@@ -15,9 +15,20 @@ from typing import Dict, Optional
 
 from repro.flowspace.fields import HeaderLayout, OPENFLOW_10_LAYOUT, format_ip
 
-__all__ = ["Packet"]
+__all__ = ["Packet", "reserve_packet_ids"]
 
 _packet_ids = itertools.count()
+
+
+def reserve_packet_ids(count: int) -> list:
+    """Draw ``count`` consecutive ids from the global packet counter.
+
+    The columnar batch path reserves ids at batch-construction time so a
+    batch and its scalar materialization carry identical packet ids —
+    the equivalence tests compare them directly.
+    """
+    ids = _packet_ids
+    return [next(ids) for _ in range(count)]
 
 
 class Packet:

@@ -54,6 +54,10 @@ class RuleTable:
     ):
         self.layout = layout
         self.engine = create_engine(engine, layout)
+        #: Monotonic mutation stamp: bumped on every add/remove/clear so
+        #: derived structures (the TCAM's compiled vector matcher) know
+        #: when their compiled view of the rule list went stale.
+        self.version = 0
         if rules:
             for rule in rules:
                 self.add(rule)
@@ -64,18 +68,26 @@ class RuleTable:
         if rule.match.layout != self.layout:
             raise ValueError("rule layout differs from table layout")
         self.engine.add(rule)
+        self.version += 1
 
     def remove(self, rule: Rule) -> bool:
         """Remove ``rule`` (by identity); returns whether it was present."""
-        return self.engine.remove(rule)
+        removed = self.engine.remove(rule)
+        if removed:
+            self.version += 1
+        return removed
 
     def remove_if(self, predicate: Callable[[Rule], bool]) -> List[Rule]:
         """Remove and return every rule satisfying ``predicate``."""
-        return self.engine.remove_if(predicate)
+        removed = self.engine.remove_if(predicate)
+        if removed:
+            self.version += 1
+        return removed
 
     def clear(self) -> None:
         """Remove every rule (insertion-sequence state resets too)."""
         self.engine.clear()
+        self.version += 1
 
     # -- lookup ------------------------------------------------------------------
     def lookup(self, packet: Packet) -> Optional[Rule]:

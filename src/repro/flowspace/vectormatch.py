@@ -1,0 +1,80 @@
+"""Vectorized wildcard matching over columnar packet batches.
+
+A :class:`VectorMatcher` compiles a priority-ordered rule list into
+per-field ``(mask, value)`` pairs and classifies a whole
+:class:`~repro.flowspace.batch.PacketBatch` with numpy compares: for each
+rule, in lookup order, the still-unmatched packets whose cared fields all
+agree are assigned that rule.  This is semantically identical to the
+engines' per-packet lookup (highest priority wins, insertion order breaks
+ties) because rules are visited in exactly the engine's lookup order.
+
+Cost model: O(rules × cared-fields) numpy operations over the batch, with
+early exit once every packet matched.  That wins when batches are wide and
+the winning rules sit near the front (cache-hit traffic); for very large
+tables the TCAM falls back to the engine's ``batch_lookup`` (see
+``Tcam.match_batch``), which is O(1) dispatches but per-packet Python.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.flowspace.fields import HeaderLayout
+from repro.flowspace.rule import Rule
+
+__all__ = ["VectorMatcher"]
+
+
+class VectorMatcher:
+    """Compiled vector classifier for one rule list (in lookup order)."""
+
+    __slots__ = ("rules", "_cared")
+
+    def __init__(self, layout: HeaderLayout, rules: Sequence[Rule]):
+        self.rules: Tuple[Rule, ...] = tuple(rules)
+        names = layout.names()
+        cared: List[List[Tuple[str, int, int]]] = []
+        for rule in self.rules:
+            ternary = rule.match.ternary
+            per_field = []
+            for name in names:
+                sub = layout.field_ternary(ternary, name)
+                if sub.mask:
+                    per_field.append((name, sub.mask, sub.value))
+            cared.append(per_field)
+        self._cared = cared
+
+    def match(self, columns) -> np.ndarray:
+        """Winner rule index per packet (``-1`` = miss) over field columns.
+
+        ``columns`` is the batch's ``{field name: uint64 array}`` mapping.
+        """
+        first = next(iter(columns.values())) if columns else None
+        count = len(first) if first is not None else 0
+        winners = np.full(count, -1, dtype=np.int64)
+        if count == 0:
+            return winners
+        unmatched = np.ones(count, dtype=bool)
+        for index, per_field in enumerate(self._cared):
+            if not unmatched.any():
+                break
+            ok = unmatched
+            for name, mask, value in per_field:
+                column = columns[name]
+                ok = ok & ((column & np.uint64(mask)) == np.uint64(value))
+            if ok is unmatched:
+                # Full wildcard rule: everything still unmatched wins here.
+                ok = unmatched.copy()
+            if not ok.any():
+                continue
+            winners[ok] = index
+            unmatched &= ~ok
+        return winners
+
+    def __len__(self) -> int:
+        return len(self.rules)
+
+    def __repr__(self) -> str:
+        return f"<VectorMatcher {len(self.rules)} rules>"

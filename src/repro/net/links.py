@@ -22,6 +22,8 @@ import random
 from dataclasses import dataclass
 from typing import Callable, Optional
 
+import numpy as np
+
 from repro.net.events import EventScheduler
 
 __all__ = ["LinkSpec", "Link"]
@@ -58,8 +60,8 @@ class Link:
     """A unidirectional link delivering packets after the spec's delay."""
 
     __slots__ = ("source", "destination", "spec", "scheduler", "deliver",
-                 "on_loss", "loss_probability", "jitter_s", "_rng",
-                 "packets_carried", "bytes_carried", "packets_lost")
+                 "deliver_batch", "on_loss", "loss_probability", "jitter_s",
+                 "_rng", "packets_carried", "bytes_carried", "packets_lost")
 
     def __init__(
         self,
@@ -70,6 +72,7 @@ class Link:
         deliver: Callable,
         on_loss: Optional[Callable] = None,
         seed: int = 0,
+        deliver_batch: Optional[Callable] = None,
     ):
         self.source = source
         self.destination = destination
@@ -77,6 +80,9 @@ class Link:
         self.scheduler = scheduler
         #: Callback invoked as ``deliver(destination, packet)`` on arrival.
         self.deliver = deliver
+        #: Batch arrival callback ``deliver_batch(destination, batch)``;
+        #: ``None`` degrades :meth:`send_batch` to per-packet arrivals.
+        self.deliver_batch = deliver_batch
         #: Callback invoked as ``on_loss(link, packet)`` when loss eats a packet.
         self.on_loss = on_loss
         #: Live fault parameters; start from the spec but stay mutable so a
@@ -103,6 +109,57 @@ class Link:
         if self.jitter_s > 0.0:
             delay += self._rng.uniform(0.0, self.jitter_s)
         self.scheduler.schedule(delay, self.deliver, self.destination, packet)
+
+    def send_batch(self, batch) -> None:
+        """Transmit a whole same-instant batch over this link.
+
+        Counters, loss and jitter draws happen per packet **in packet
+        order**, so the link's private RNG stream advances exactly as the
+        scalar per-packet path would — a chaos run loses the same packets
+        in either mode.  With jitter off, survivors arrive as one batch
+        event per distinct packet size (the common uniform-size burst is
+        one event); jitter forces per-packet arrival times and degrades to
+        per-packet delivery.
+        """
+        count = len(batch)
+        self.packets_carried += count
+        self.bytes_carried += int(batch.size_bytes.sum())
+        survivors = batch
+        if self.loss_probability > 0.0:
+            draw = self._rng.random
+            probability = self.loss_probability
+            lost = [i for i in range(count) if draw() < probability]
+            if lost:
+                self.packets_lost += len(lost)
+                if self.on_loss is not None:
+                    for packet in batch.select(np.array(lost)).packets():
+                        self.on_loss(self, packet)
+                if len(lost) == count:
+                    return
+                keep = np.ones(count, dtype=bool)
+                keep[lost] = False
+                survivors = batch.select(np.nonzero(keep)[0])
+        if self.jitter_s > 0.0 or self.deliver_batch is None:
+            for packet in survivors.packets():
+                delay = self.spec.transfer_delay(packet.size_bytes)
+                if self.jitter_s > 0.0:
+                    delay += self._rng.uniform(0.0, self.jitter_s)
+                self.scheduler.schedule(delay, self.deliver, self.destination, packet)
+            return
+        sizes = survivors.size_bytes
+        first_size = int(sizes[0])
+        if bool((sizes == sizes[0]).all()):
+            delay = self.spec.transfer_delay(first_size)
+            self.scheduler.schedule_batch(
+                delay, self.deliver_batch, self.destination, survivors
+            )
+            return
+        for size in np.unique(sizes).tolist():
+            sub = survivors.select(np.nonzero(sizes == size)[0])
+            delay = self.spec.transfer_delay(int(size))
+            self.scheduler.schedule_batch(
+                delay, self.deliver_batch, self.destination, sub
+            )
 
     def __repr__(self) -> str:
         return f"<Link {self.source}->{self.destination} {self.packets_carried}pkts>"

@@ -17,9 +17,9 @@ flows without touching rules — exactly the separation DIFANE argues for
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.flowspace.batch import PacketBatch, columnar_enabled
 from repro.flowspace.packet import Packet
 from repro.net.events import EventScheduler
 from repro.net.links import Link
@@ -35,26 +35,145 @@ __all__ = ["SimNetwork", "DeliveryRecord"]
 CONTROL_OVERHEAD_S = 20e-6
 
 
-@dataclass
 class DeliveryRecord:
-    """Outcome of one packet's trip through the network."""
+    """Outcome of one packet's trip through the network.
 
-    packet_id: int
-    flow_id: Optional[int]
-    created_at: float
-    finished_at: float
-    delivered: bool
-    hops: int
-    via_authority: bool
-    via_controller: bool
-    ingress_switch: Optional[str]
-    endpoint: Optional[str]
-    drop_reason: Optional[str] = None
+    One record is appended per packet — the hottest allocation after
+    :class:`Packet` itself — so this is a ``__slots__`` class rather than
+    a dataclass (no per-instance dict; see ``bench_perf_core``'s
+    packet-struct micro-benchmark).
+    """
+
+    __slots__ = (
+        "packet_id", "flow_id", "created_at", "finished_at", "delivered",
+        "hops", "via_authority", "via_controller", "ingress_switch",
+        "endpoint", "drop_reason",
+    )
+
+    def __init__(
+        self,
+        packet_id: int,
+        flow_id: Optional[int],
+        created_at: float,
+        finished_at: float,
+        delivered: bool,
+        hops: int,
+        via_authority: bool,
+        via_controller: bool,
+        ingress_switch: Optional[str],
+        endpoint: Optional[str],
+        drop_reason: Optional[str] = None,
+    ):
+        self.packet_id = packet_id
+        self.flow_id = flow_id
+        self.created_at = created_at
+        self.finished_at = finished_at
+        self.delivered = delivered
+        self.hops = hops
+        self.via_authority = via_authority
+        self.via_controller = via_controller
+        self.ingress_switch = ingress_switch
+        self.endpoint = endpoint
+        self.drop_reason = drop_reason
 
     @property
     def delay(self) -> float:
         """End-to-end latency in seconds (delivery or drop time)."""
         return self.finished_at - self.created_at
+
+    def __repr__(self) -> str:
+        outcome = "delivered" if self.delivered else f"dropped({self.drop_reason})"
+        return (
+            f"DeliveryRecord(packet_id={self.packet_id}, flow_id={self.flow_id}, "
+            f"{outcome} at {self.endpoint} t={self.finished_at:.6f})"
+        )
+
+
+class _BatchBlock:
+    """A recorded batch outcome awaiting per-packet materialization."""
+
+    __slots__ = ("batch", "endpoint", "finished_at", "delivered", "drop_reason")
+
+    def __init__(self, batch, endpoint, finished_at, delivered, drop_reason=None):
+        self.batch = batch
+        self.endpoint = endpoint
+        self.finished_at = finished_at
+        self.delivered = delivered
+        self.drop_reason = drop_reason
+
+    def materialize(self) -> List[DeliveryRecord]:
+        batch = self.batch
+        created_at = batch.created_at or 0.0
+        ingress = batch.ingress_switch
+        # tolist() converts each column to Python objects in one C pass;
+        # per-element numpy indexing dominated the delivery hot path.
+        return [
+            DeliveryRecord(
+                packet_id, flow_id, created_at, self.finished_at,
+                self.delivered, hop, via_a, via_c, ingress,
+                self.endpoint, self.drop_reason,
+            )
+            for packet_id, flow_id, hop, via_a, via_c in zip(
+                batch.packet_ids.tolist(),
+                batch.flow_ids.tolist(),
+                batch.hops.tolist(),
+                batch.via_authority.tolist(),
+                batch.via_controller.tolist(),
+            )
+        ]
+
+
+class DeliveryLog:
+    """The network's outcome log — a lazy list of :class:`DeliveryRecord`.
+
+    Scalar paths append records eagerly, exactly like the plain list this
+    replaces.  The columnar path appends one :class:`_BatchBlock` per
+    terminal batch and defers the per-packet row construction until the
+    log is actually read (experiments read it once, after the run), so
+    recording a delivered batch costs O(1) on the hot path.  Reads
+    (``len``, iteration, indexing) flatten pending blocks in arrival
+    order, preserving the exact rows eager recording would have produced.
+    """
+
+    __slots__ = ("_entries", "_dirty")
+
+    def __init__(self):
+        self._entries: List[object] = []
+        self._dirty = False
+
+    def append(self, record: DeliveryRecord) -> None:
+        self._entries.append(record)
+
+    def append_block(self, block: _BatchBlock) -> None:
+        self._entries.append(block)
+        self._dirty = True
+
+    def _flush(self) -> List[DeliveryRecord]:
+        if self._dirty:
+            flat: List[DeliveryRecord] = []
+            for entry in self._entries:
+                if type(entry) is _BatchBlock:
+                    flat.extend(entry.materialize())
+                else:
+                    flat.append(entry)
+            self._entries = flat
+            self._dirty = False
+        return self._entries
+
+    def __len__(self) -> int:
+        return len(self._flush())
+
+    def __iter__(self):
+        return iter(self._flush())
+
+    def __getitem__(self, index):
+        return self._flush()[index]
+
+    def __bool__(self) -> bool:
+        return bool(self._entries)
+
+    def __repr__(self) -> str:
+        return f"<DeliveryLog {len(self)} outcomes>"
 
 
 class SimNetwork:
@@ -88,7 +207,7 @@ class SimNetwork:
         self.loss_seed = loss_seed
         self._nodes: Dict[str, object] = {}
         self._links: Dict[Tuple[str, str], Link] = {}
-        self.deliveries: List[DeliveryRecord] = []
+        self.deliveries = DeliveryLog()
         self.control_messages_sent = 0
         # Hot-path metric children, bound once.
         self._m_injected = self.metrics.counter("packets_injected_total")
@@ -107,6 +226,7 @@ class SimNetwork:
         return Link(
             a, b, spec, self.scheduler, self._arrive,
             on_loss=self._link_loss, seed=self.loss_seed,
+            deliver_batch=self._arrive_batch,
         )
 
     def _build_links(self) -> None:
@@ -198,12 +318,49 @@ class SimNetwork:
             for packet in packets:
                 self.record_drop(packet, switch, "no behaviour registered")
             return
+        if (
+            columnar_enabled()
+            and packets
+            and hasattr(behaviour, "handle_batch")
+            and self.fabric_is_clean()
+            and not any(packet.is_encapsulated for packet in packets)
+        ):
+            # Columnar fast path: adopt the burst as a batch so the whole
+            # trip downstream (classify, per-hop transit, delivery) moves
+            # one batch per event instead of one packet per event.
+            behaviour.handle_batch(self, PacketBatch.from_packets(packets))
+            return
         burst = getattr(behaviour, "handle_burst", None)
         if burst is not None:
             burst(self, packets)
         else:
             for packet in packets:
                 behaviour.handle_packet(self, packet)
+
+    def inject_batch_at_switch(self, switch: str, batch: PacketBatch) -> None:
+        """Hand a columnar same-instant batch directly to ``switch``.
+
+        The batch-native analogue of :meth:`inject_burst_at_switch`.  With
+        columnar mode off (or a behaviour without batch support) the batch
+        is materialized and takes the scalar oracle path — identical
+        packet ids, counters and outcomes.
+        """
+        behaviour = self._nodes.get(switch)
+        if (
+            not columnar_enabled()
+            or behaviour is None
+            or not hasattr(behaviour, "handle_batch")
+            or not self.fabric_is_clean()
+        ):
+            self.inject_burst_at_switch(switch, batch.packets())
+            return
+        now = self.scheduler.now
+        batch.created_at = now
+        batch.ingress_switch = switch
+        self._m_injected.inc(len(batch))
+        if self.tracer.enabled:
+            self.tracer.record_batch(now, TraceKind.INGRESS, batch.packets(), node=switch)
+        behaviour.handle_batch(self, batch)
 
     def transmit(self, from_node: str, to_node: str, packet: Packet) -> None:
         """Send ``packet`` over the ``from_node`` → ``to_node`` link."""
@@ -224,6 +381,48 @@ class SimNetwork:
             self.record_drop(packet, at_node, f"unreachable {destination}")
             return
         self.transmit(at_node, hop, packet)
+
+    def transmit_batch(self, from_node: str, to_node: str, batch: PacketBatch) -> None:
+        """Send a whole batch over the ``from_node`` → ``to_node`` link."""
+        link = self._links.get((from_node, to_node))
+        if link is None:
+            self.record_drop_batch(batch, from_node, f"no link {from_node}->{to_node}")
+            return
+        batch.hops += 1
+        link.send_batch(batch)
+
+    def forward_batch_toward(
+        self, at_node: str, destination: str, batch: PacketBatch
+    ) -> None:
+        """Forward a batch one hop along the shortest path to ``destination``.
+
+        One routing lookup covers the whole batch (all packets share the
+        location and destination), where the scalar path repeats it per
+        packet with the same answer.
+        """
+        if at_node == destination:
+            self._arrive_batch(destination, batch)
+            return
+        hop = self.routes.next_hop(at_node, destination)
+        if hop is None:
+            self.record_drop_batch(batch, at_node, f"unreachable {destination}")
+            return
+        self.transmit_batch(at_node, hop, batch)
+
+    def fabric_is_clean(self) -> bool:
+        """True when no live link draws randomness (no loss, no jitter).
+
+        The columnar fast path engages only on a clean fabric: per-link
+        loss/jitter draws happen in *processing order*, and batch
+        classification regroups same-instant packets, so a faulty link
+        would consume its RNG stream in a different order than the scalar
+        oracle and lose different packets.  Fault runs therefore keep the
+        per-packet path — bit-identical in either mode by construction.
+        """
+        for link in self._links.values():
+            if link.loss_probability > 0.0 or link.jitter_s > 0.0:
+                return False
+        return True
 
     def _link_loss(self, link: Link, packet: Packet) -> None:
         """A lossy link ate ``packet``: attribute it distinctly from routing
@@ -267,6 +466,21 @@ class SimNetwork:
             self.record_drop(packet, node_name, "no behaviour registered")
             return
         behaviour.handle_packet(self, packet)
+
+    def _arrive_batch(self, node_name: str, batch: PacketBatch) -> None:
+        if node_name in self._hosts:
+            self.record_delivery_batch(batch, node_name)
+            return
+        behaviour = self._nodes.get(node_name)
+        if behaviour is None:
+            self.record_drop_batch(batch, node_name, "no behaviour registered")
+            return
+        handle_batch = getattr(behaviour, "handle_batch", None)
+        if handle_batch is not None:
+            handle_batch(self, batch)
+            return
+        for packet in batch.packets():
+            behaviour.handle_packet(self, packet)
 
     # -- control-plane messaging ---------------------------------------------------
     def send_control(self, from_node: str, to_node: str, handler: Callable, *args) -> None:
@@ -332,6 +546,40 @@ class SimNetwork:
                 drop_reason=reason,
             )
         )
+
+    def record_delivery_batch(self, batch: PacketBatch, endpoint: str) -> None:
+        """Record a whole batch delivered at ``endpoint``.
+
+        The delivered counter takes one bulk increment (eagerly, so
+        telemetry windows see it at the right instant); the per-packet
+        :class:`DeliveryRecord` rows the delay and timeline analyses read
+        are deferred — :class:`DeliveryLog` materializes them from the
+        columns when the log is first read, off the hot path.
+        """
+        count = len(batch)
+        self._m_delivered.inc(count)
+        now = self.scheduler.now
+        if self.tracer.enabled:
+            self.tracer.record_batch(
+                now, TraceKind.DELIVERED, batch.packets(), node=endpoint
+            )
+        self.deliveries.append_block(_BatchBlock(batch, endpoint, now, True))
+
+    def record_drop_batch(self, batch: PacketBatch, where: str, reason: str) -> None:
+        """Record a whole batch lost at ``where`` for one ``reason``."""
+        count = len(batch)
+        bucket = attribute_reason(reason)
+        child = self._m_dropped.get(bucket)
+        if child is None:
+            child = self.metrics.counter("packets_dropped_total", reason=bucket)
+            self._m_dropped[bucket] = child
+        child.inc(count)
+        now = self.scheduler.now
+        if self.tracer.enabled:
+            self.tracer.record_batch(
+                now, TraceKind.DROPPED, batch.packets(), node=where, detail=reason
+            )
+        self.deliveries.append_block(_BatchBlock(batch, where, now, False, reason))
 
     # -- convenience --------------------------------------------------------------------
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:

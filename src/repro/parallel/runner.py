@@ -64,13 +64,16 @@ def _init_worker(
     metrics_enabled: bool,
     profile: bool,
     telemetry_interval_s: Optional[float] = None,
+    columnar: bool = False,
 ) -> None:
     """Propagate process-wide knobs into a freshly started worker."""
+    from repro.flowspace.batch import set_columnar
     from repro.flowspace.engine import set_default_engine
     from repro.parallel.cache import configure_artifact_cache
 
     set_default_engine(engine_name)
     configure_artifact_cache(cache_dir)
+    set_columnar(columnar)
     _WORKER_OBS["metrics_enabled"] = metrics_enabled
     _WORKER_OBS["profile"] = profile
     _WORKER_OBS["telemetry_interval_s"] = telemetry_interval_s
@@ -127,6 +130,7 @@ class SweepRunner:
         if jobs <= 1 or obs_context.current_tracer().enabled:
             return [fn(**params) for params in param_sets]
 
+        from repro.flowspace.batch import columnar_enabled
         from repro.flowspace.engine import get_default_engine
         from repro.parallel.cache import artifact_cache
 
@@ -138,6 +142,7 @@ class SweepRunner:
             parent.metrics.enabled,
             parent.profiler.enabled,
             parent.telemetry.interval_s if parent.telemetry.enabled else None,
+            columnar_enabled(),
         )
         try:
             executor = ProcessPoolExecutor(

@@ -19,9 +19,10 @@ stage ordering dominates priority.
 from __future__ import annotations
 
 import time as _time
-from dataclasses import dataclass
 from enum import Enum
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.flowspace.engine import EngineSpec
 from repro.flowspace.fields import HeaderLayout
@@ -41,17 +42,26 @@ class PipelineStage(Enum):
     MISS = "miss"
 
 
-@dataclass
 class LookupResult:
-    """The outcome of a pipeline lookup."""
+    """The outcome of a pipeline lookup.
 
-    rule: Optional[Rule]
-    stage: PipelineStage
+    One of these is built per packet on the scalar hot path, so it is a
+    ``__slots__`` class rather than a dataclass (no per-instance dict).
+    """
+
+    __slots__ = ("rule", "stage")
+
+    def __init__(self, rule: Optional[Rule], stage: PipelineStage):
+        self.rule = rule
+        self.stage = stage
 
     @property
     def is_miss(self) -> bool:
         """True when nothing in any stage matched."""
         return self.rule is None
+
+    def __repr__(self) -> str:
+        return f"LookupResult(rule={self.rule!r}, stage={self.stage!r})"
 
 
 class DifanePipeline:
@@ -172,6 +182,52 @@ class DifanePipeline:
         if stages is not None and pending:
             stages[PipelineStage.MISS].inc(len(pending))
         return results
+
+    def classify_batch(
+        self, batch, now: Optional[float] = None
+    ) -> List[Tuple[PipelineStage, Optional[Rule], np.ndarray]]:
+        """Columnar :meth:`lookup_batch`: classify a whole batch per stage.
+
+        Returns ``(stage, rule, indices)`` groups — ``indices`` are
+        positions within ``batch`` (ascending within each group), ``rule``
+        is ``None`` only for the trailing MISS group.  Stage counters,
+        ``misses`` and per-rule hit statistics land exactly as per-packet
+        :meth:`lookup` calls would; only the grouping (and therefore the
+        downstream action-execution order within one same-instant batch)
+        differs, which the metrics document cannot observe.
+        """
+        stages = self._m_stage
+        groups: List[Tuple[PipelineStage, Optional[Rule], np.ndarray]] = []
+        pending = np.arange(len(batch))
+        sub = batch
+        for tcam, stage in (
+            (self.cache, PipelineStage.CACHE),
+            (self.authority, PipelineStage.AUTHORITY),
+            (self.partition, PipelineStage.PARTITION),
+        ):
+            if not pending.size:
+                break
+            winners, rules = tcam.match_batch(sub, now)
+            matched = winners >= 0
+            hit_count = int(matched.sum())
+            if hit_count:
+                if stages is not None:
+                    stages[stage].inc(hit_count)
+                hit_indices = pending[matched]
+                hit_winners = winners[matched]
+                for index in np.unique(hit_winners).tolist():
+                    groups.append(
+                        (stage, rules[index], hit_indices[hit_winners == index])
+                    )
+                pending = pending[~matched]
+                if pending.size:
+                    sub = batch.select(pending)
+        if pending.size:
+            self.misses += int(pending.size)
+            if stages is not None:
+                stages[PipelineStage.MISS].inc(int(pending.size))
+            groups.append((PipelineStage.MISS, None, pending))
+        return groups
 
     def install(self, rule: Rule, now: Optional[float] = None, **kwargs) -> Rule:
         """Install ``rule`` into the region its :class:`RuleKind` selects."""

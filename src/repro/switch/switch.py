@@ -122,6 +122,23 @@ class DataPlaneSwitch:
         self._m_seen.inc(len(packets))
         self.process_batch(list(packets))
 
+    def handle_batch(self, network, batch) -> None:
+        """Entry point for a columnar same-instant batch.
+
+        Mirrors :meth:`handle_burst`: a switch with a per-packet budget or
+        forwarding delay degrades to the scalar path (both are defined
+        packet-by-packet); otherwise the batch flows whole into
+        :meth:`process_packet_batch`.
+        """
+        if self._station is not None or self.forwarding_delay_s > 0:
+            for packet in batch.packets():
+                self.handle_packet(network, packet)
+            return
+        count = len(batch)
+        self.packets_seen += count
+        self._m_seen.inc(count)
+        self.process_packet_batch(batch)
+
     def _enqueue(self, packet: Packet) -> None:
         if self._station is None:
             self._process_now(packet)
@@ -150,6 +167,15 @@ class DataPlaneSwitch:
         """
         for packet in packets:
             self.process(packet)
+
+    def process_packet_batch(self, batch) -> None:
+        """Classify and act on a columnar batch.
+
+        The default materializes the scalar view and runs the burst path;
+        :class:`~repro.core.authority.DifaneSwitch` overrides this with
+        fully vectorized classification.
+        """
+        self.process_batch(batch.packets())
 
     # -- action execution ---------------------------------------------------------------
     def execute(self, packet: Packet, actions: ActionList) -> None:

@@ -30,6 +30,7 @@ from repro.workloads.traffic import (
     poisson_arrivals,
     host_pair_packets,
 )
+from repro.workloads.batches import TimedBatch, host_pair_batches
 from repro.workloads.trace import Trace
 
 __all__ = [
@@ -44,5 +45,7 @@ __all__ = [
     "packet_sequence",
     "poisson_arrivals",
     "host_pair_packets",
+    "TimedBatch",
+    "host_pair_batches",
     "Trace",
 ]

@@ -16,7 +16,6 @@ Three levels, matching what each experiment needs:
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
 from typing import Dict, List, Sequence
 
 from repro.flowspace.fields import HeaderLayout
@@ -33,13 +32,25 @@ __all__ = [
 ]
 
 
-@dataclass
 class TimedPacket:
-    """One scheduled packet injection."""
+    """One scheduled packet injection.
 
-    time: float
-    source_host: str
-    packet: Packet
+    Workload generators build one of these per packet, so it is a
+    ``__slots__`` class (no per-instance dict) rather than a dataclass.
+    """
+
+    __slots__ = ("time", "source_host", "packet")
+
+    def __init__(self, time: float, source_host: str, packet: Packet):
+        self.time = time
+        self.source_host = source_host
+        self.packet = packet
+
+    def __repr__(self) -> str:
+        return (
+            f"TimedPacket(time={self.time!r}, "
+            f"source_host={self.source_host!r}, packet={self.packet!r})"
+        )
 
 
 def flow_headers_for_policy(

@@ -1,0 +1,284 @@
+"""Columnar packet core: equivalence with the scalar oracle, plus units.
+
+The contract under test (DESIGN.md, "Columnar core"): with the columnar
+batch path enabled, a run must produce the *same metrics document*, the
+same per-flow delivery outcomes and the same trace accounting as the
+scalar per-packet oracle — the only permitted difference is speed.  The
+property below drives randomized star fabrics and Zipf burst workloads
+through both paths, including a lossy-fabric configuration (where the
+columnar path must degrade to the oracle, because per-link RNG draws are
+consumed in processing order).
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cli import main as cli_main
+from repro.core.controller import DifaneNetwork
+from repro.flowspace.batch import PacketBatch, layout_vectorizes, set_columnar
+from repro.flowspace.bits import mask_of_width
+from repro.flowspace.fields import FIVE_TUPLE_LAYOUT
+from repro.net.events import EventScheduler
+from repro.net.topology import TopologyBuilder
+from repro.obs import context as obs_context
+from repro.obs import fresh_run_context
+from repro.switch.tcam import Tcam
+from repro.workloads.batches import TimedBatch, host_pair_batches
+from repro.workloads.classbench import generate_classbench
+from repro.workloads.policies import routing_policy_for_topology
+
+LAYOUT = FIVE_TUPLE_LAYOUT
+
+
+@pytest.fixture(autouse=True)
+def _scalar_mode_after():
+    """Every test leaves the process in scalar mode with its old context."""
+    previous = obs_context.current()
+    yield
+    set_columnar(False)
+    obs_context.install(previous)
+
+
+# -- the equivalence property -------------------------------------------------------
+
+def _run_workload(columnar, seed, leaf_count, hosts_per_leaf, hot_flows,
+                  redirect_rate=None, loss=0.0):
+    """One full DIFANE run; returns (metrics snapshot, outcomes, trace)."""
+    set_columnar(columnar)
+    context = fresh_run_context(trace=True, telemetry=True)
+    topo = TopologyBuilder.star(leaf_count=leaf_count, hosts_per_leaf=hosts_per_leaf)
+    rules, host_ips = routing_policy_for_topology(topo, LAYOUT, seed=seed)
+    facade = DifaneNetwork.build(
+        topo, rules, LAYOUT, authority_count=2, cache_capacity=64,
+        redirect_rate=redirect_rate,
+    )
+    if loss:
+        for link in facade.network._links.values():
+            link.loss_probability = loss
+    schedule = host_pair_batches(
+        topo, host_ips, LAYOUT, bursts=4, burst_size=40,
+        hot_flows=hot_flows, alpha=1.0, seed=seed,
+    )
+    for timed in schedule:
+        facade.send_batch_at(timed.time, timed.switch, timed.batch)
+    facade.run()
+    outcomes = sorted(
+        (r.flow_id, r.delivered, r.via_authority, r.via_controller, r.drop_reason)
+        for r in facade.network.deliveries
+    )
+    return context.metrics.snapshot(), outcomes, context.tracer.accounting()
+
+
+@settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[
+        HealthCheck.too_slow,
+        HealthCheck.function_scoped_fixture,
+    ],
+)
+@given(
+    seed=st.integers(min_value=0, max_value=2**16),
+    leaf_count=st.integers(min_value=3, max_value=6),
+    hosts_per_leaf=st.integers(min_value=1, max_value=2),
+    hot_flows=st.integers(min_value=4, max_value=24),
+    config=st.sampled_from([
+        {},                              # clean fabric: the fast path engages
+        {"redirect_rate": 800_000.0},    # redirect stations queue per packet
+        {"loss": 0.02},                  # faulty fabric: must degrade to oracle
+    ]),
+)
+def test_columnar_equals_scalar(seed, leaf_count, hosts_per_leaf, hot_flows, config):
+    scalar = _run_workload(
+        False, seed, leaf_count, hosts_per_leaf, hot_flows, **config
+    )
+    columnar = _run_workload(
+        True, seed, leaf_count, hosts_per_leaf, hot_flows, **config
+    )
+    for name, expected, actual in zip(
+        ("metrics snapshot", "delivery outcomes", "trace accounting"),
+        scalar, columnar,
+    ):
+        assert expected == actual, f"{name} diverged under {config or 'clean fabric'}"
+
+
+# -- PacketBatch --------------------------------------------------------------------
+
+def _sample_batch(count=16, seed=3):
+    rng = np.random.default_rng(seed)
+    return PacketBatch.from_fields(
+        LAYOUT,
+        count,
+        flow_ids=rng.integers(0, 64, count).tolist(),
+        size_bytes=64,
+        nw_src=rng.integers(0, 2**32, count),
+        nw_dst=rng.integers(0, 2**32, count),
+        nw_proto=6,
+        tp_src=rng.integers(1024, 65536, count),
+        tp_dst=80,
+    )
+
+
+def test_packet_batch_round_trips_through_packets():
+    assert layout_vectorizes(LAYOUT)
+    batch = _sample_batch()
+    packets = batch.packets()
+    assert [p.header_bits for p in packets] == batch.header_bits_list()
+    assert [p.flow_id for p in packets] == batch.flow_ids.tolist()
+    assert [p.packet_id for p in packets] == batch.packet_ids.tolist()
+    rebatched = PacketBatch.from_packets(packets)
+    assert rebatched.header_bits_list() == batch.header_bits_list()
+    assert rebatched.packet_ids.tolist() == batch.packet_ids.tolist()
+
+
+def test_packet_batch_select_and_set_field():
+    batch = _sample_batch()
+    bits = batch.header_bits_list()
+    sub = batch.select([1, 5, 9])
+    assert len(sub) == 3
+    assert sub.header_bits_list() == [bits[1], bits[5], bits[9]]
+    assert sub.packet_ids.tolist() == batch.packet_ids[[1, 5, 9]].tolist()
+    sub.set_field("tp_dst", 443)
+    offset = LAYOUT.offset("tp_dst")
+    for packet_bits in sub.header_bits_list():
+        assert (packet_bits >> offset) & mask_of_width(16) == 443
+    # select copies: the parent batch is untouched
+    assert batch.header_bits_list() == bits
+
+
+def test_packet_batch_encapsulate_decapsulate():
+    batch = _sample_batch(count=4)
+    assert batch.encap_destination is None
+    batch.encapsulate("a1")
+    assert batch.encap_destination == "a1"
+    for packet in batch.packets():
+        assert packet.encap_destination == "a1"
+    batch.decapsulate()
+    assert batch.encap_destination is None
+
+
+# -- the vector matcher -------------------------------------------------------------
+
+def test_match_batch_agrees_with_scalar_lookup():
+    """Tcam.match_batch (VectorMatcher) wins exactly where lookup does."""
+    rules = generate_classbench("acl", count=200, seed=11, layout=LAYOUT)
+    tcam = Tcam(LAYOUT)
+    for rule in rules:
+        tcam.install(rule)
+    rng = random.Random(14)
+    probe_bits = [rule.match.ternary.sample(rng) for rule in rules[:64]]
+    probe_bits += [rng.getrandbits(LAYOUT.width - 1) for _ in range(64)]
+    fields = {
+        name: [(bits >> LAYOUT.offset(name)) & mask_of_width(spec.width)
+               for bits in probe_bits]
+        for name, spec in ((f.name, f) for f in LAYOUT.fields)
+    }
+    batch = PacketBatch.from_fields(LAYOUT, len(probe_bits), **fields)
+    winners, ordered = tcam.match_batch(batch)
+    for position, bits in enumerate(batch.header_bits_list()):
+        expected = tcam.table.lookup_bits(bits)
+        actual = None if winners[position] < 0 else ordered[winners[position]]
+        assert actual is expected
+
+
+# -- burst-granular scheduling ------------------------------------------------------
+
+def test_schedule_batch_is_counted_and_marked():
+    scheduler = EventScheduler()
+    fired = []
+    event = scheduler.schedule_batch(0.5, fired.append, "burst")
+    assert event.kind == "batch"
+    assert scheduler.batch_events_scheduled == 1
+    scheduler.run()
+    assert fired == ["burst"]
+
+
+def test_timed_batch_compat_view():
+    topo = TopologyBuilder.star(leaf_count=3, hosts_per_leaf=2)
+    _, host_ips = routing_policy_for_topology(topo, LAYOUT)
+    schedule = host_pair_batches(
+        topo, host_ips, LAYOUT, bursts=2, burst_size=10, hot_flows=4, seed=5,
+    )
+    assert sum(len(timed) for timed in schedule) == 20
+    for timed in schedule:
+        assert isinstance(timed, TimedBatch)
+        scalars = timed.timed_packets()
+        assert len(scalars) == len(timed)
+        for scalar, bits in zip(scalars, timed.batch.header_bits_list()):
+            assert scalar.time == timed.time
+            assert scalar.source_host == timed.switch
+            assert scalar.packet.header_bits == bits
+
+
+def test_fabric_is_clean_gates_the_fast_path():
+    """A lossy link forces the scalar path even with columnar mode on."""
+    set_columnar(True)
+    fresh_run_context()
+    topo = TopologyBuilder.star(leaf_count=3, hosts_per_leaf=2)
+    rules, host_ips = routing_policy_for_topology(topo, LAYOUT)
+    facade = DifaneNetwork.build(
+        topo, rules, LAYOUT, authority_count=1, cache_capacity=64,
+    )
+    assert facade.network.fabric_is_clean()
+    next(iter(facade.network._links.values())).loss_probability = 0.5
+    assert not facade.network.fabric_is_clean()
+    schedule = host_pair_batches(
+        topo, host_ips, LAYOUT, bursts=1, burst_size=20, hot_flows=4, seed=2,
+    )
+    for timed in schedule:
+        facade.send_batch_at(timed.time, timed.switch, timed.batch)
+    facade.run()
+    assert facade.network.scheduler.batch_events_scheduled == 0
+
+
+def test_clean_fabric_uses_batch_events():
+    set_columnar(True)
+    fresh_run_context()
+    topo = TopologyBuilder.star(leaf_count=3, hosts_per_leaf=2)
+    rules, host_ips = routing_policy_for_topology(topo, LAYOUT)
+    facade = DifaneNetwork.build(
+        topo, rules, LAYOUT, authority_count=1, cache_capacity=64,
+    )
+    schedule = host_pair_batches(
+        topo, host_ips, LAYOUT, bursts=1, burst_size=20, hot_flows=4, seed=2,
+    )
+    for timed in schedule:
+        facade.send_batch_at(timed.time, timed.switch, timed.batch)
+    facade.run()
+    assert facade.network.scheduler.batch_events_scheduled > 0
+
+
+# -- CLI: corrupt metrics documents exit 2 with a clean message ---------------------
+
+def test_cli_report_missing_file_exits_2(capsys):
+    assert cli_main(["report", "/nonexistent/metrics.json"]) == 2
+    err = capsys.readouterr().err
+    assert "cannot read metrics document" in err
+    assert "Traceback" not in err
+
+
+def test_cli_report_invalid_json_exits_2(tmp_path, capsys):
+    path = tmp_path / "broken.json"
+    path.write_text("{not json")
+    assert cli_main(["report", str(path)]) == 2
+    err = capsys.readouterr().err
+    assert "not valid JSON" in err or "invalid" in err.lower()
+    assert "Traceback" not in err
+
+
+def test_cli_obs_diff_wrong_schema_exits_2(tmp_path, capsys):
+    good = tmp_path / "good.json"
+    good.write_text(json.dumps({"schema": "difane-metrics/1", "counters": {}}))
+    bad = tmp_path / "bad.json"
+    bad.write_text(json.dumps({"schema": "something-else/9"}))
+    assert cli_main(["obs", "diff", str(good), str(bad)]) == 2
+    err = capsys.readouterr().err
+    assert "schema" in err
+    assert "Traceback" not in err
