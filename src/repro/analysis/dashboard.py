@@ -20,6 +20,7 @@ __all__ = [
     "labelled_timelines",
     "sample_timelines",
     "authority_load_series",
+    "render_control_plane",
     "render_report",
 ]
 
@@ -102,6 +103,69 @@ def authority_load_series(section: Dict[str, object]) -> List[Series]:
     return labelled_timelines(section, "difane_redirects_handled_total")
 
 
+def render_control_plane(section: Dict[str, object]) -> str:
+    """Shard membership, lease/migration events and ownership counts.
+
+    Renders the ``difane-control-plane/1`` document section: one row per
+    shard (leader mark, liveness, partitions owned now), the migration
+    ledger, and the non-heartbeat control-plane events (elections,
+    adoptions, shard kills) — the observable story of a C2 run.
+    """
+    blocks: List[str] = []
+    header = (
+        f"Control plane: {section.get('n_shards', '?')} shard(s), "
+        f"leader {section.get('leader', '?')}, term {section.get('term', 0)}"
+    )
+    blocks.append(header)
+    shards = section.get("shards", [])
+    if shards:
+        blocks.append(render_table(
+            ["shard", "role", "alive", "partitions owned", "count"],
+            [
+                [
+                    shard["name"],
+                    "leader" if shard.get("leader") else "follower",
+                    "yes" if shard.get("alive") else "no",
+                    ",".join(str(pid) for pid in shard.get("partitions", []))
+                    or "-",
+                    len(shard.get("partitions", [])),
+                ]
+                for shard in shards
+            ],
+            title="Per-shard ownership",
+        ))
+    migrations = section.get("migrations", [])
+    if migrations:
+        blocks.append(render_table(
+            ["partition", "from", "to", "reason", "phase", "start", "done"],
+            [
+                [
+                    m["partition"], m["source"], m["target"], m["reason"],
+                    m["phase"], m["started_at"],
+                    m["completed_at"] if m["completed_at"] is not None else "-",
+                ]
+                for m in migrations
+            ],
+            title=f"Partition migrations ({len(migrations)})",
+        ))
+    else:
+        blocks.append("Partition migrations: none")
+    events = [
+        event for event in section.get("events", [])
+        if event.get("event") != "lease-renewal"
+    ]
+    if events:
+        blocks.append(render_table(
+            ["time", "event", "shard", "detail"],
+            [
+                [e["time"], e["event"], e["shard"], e.get("detail", "")]
+                for e in events
+            ],
+            title=f"Control-plane events ({len(events)}, leases elided)",
+        ))
+    return "\n\n".join(blocks)
+
+
 def render_report(document: Dict[str, object], width: int = 64, height: int = 12) -> str:
     """The full ASCII dashboard for one metrics document."""
     blocks: List[str] = []
@@ -159,6 +223,10 @@ def render_report(document: Dict[str, object], width: int = 64, height: int = 12
             ))
         else:
             blocks.append("Health findings: none")
+
+    control_plane = document.get("control_plane")
+    if control_plane:
+        blocks.append(render_control_plane(control_plane))
 
     trace = document.get("trace")
     if trace:

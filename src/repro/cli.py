@@ -141,6 +141,26 @@ def _c1(quick: bool, jobs=None) -> ExperimentResult:
     return run_chaos_soak(**kwargs)
 
 
+def _c2_kwargs(quick: bool) -> Dict[str, float]:
+    # C2 shares C1's CLI knobs where they apply; its campus fabric is
+    # lossless by construction, so the --loss knob stays C1-only.
+    kwargs = {k: v for k, v in CHAOS_OPTIONS.items() if k != "loss"}
+    if quick:
+        kwargs.setdefault("rate", 2000.0)
+        kwargs.setdefault("duration", 0.5)
+    return kwargs
+
+
+def _c2(quick: bool, jobs=None) -> ExperimentResult:
+    from repro.experiments.chaos import run_rebalance_soak
+    return run_rebalance_soak(rebalance=True, **_c2_kwargs(quick))
+
+
+def _c2_static(quick: bool, jobs=None) -> ExperimentResult:
+    from repro.experiments.chaos import run_rebalance_soak
+    return run_rebalance_soak(rebalance=False, **_c2_kwargs(quick))
+
+
 EXPERIMENTS: Dict[str, Tuple[str, Callable[..., ExperimentResult]]] = {
     "E1": ("Table 1: evaluated policies", _e1),
     "E2": ("Fig: setup throughput, DIFANE vs NOX", _e2),
@@ -153,6 +173,8 @@ EXPERIMENTS: Dict[str, Tuple[str, Callable[..., ExperimentResult]]] = {
     "E9": ("Table: cost of network dynamics", _e9),
     "E10": ("Ablation: cut-selection heuristic", _e10),
     "C1": ("Chaos soak: faults, detection, degradation", _c1),
+    "C2": ("Self-healing soak: sharded control plane, migration", _c2),
+    "C2-STATIC": ("C2 baseline: heartbeat-only failover, no shards", _c2_static),
 }
 
 

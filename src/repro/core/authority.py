@@ -274,6 +274,22 @@ class DifaneSwitch(DataPlaneSwitch):
             lambda rule: rule.kind is RuleKind.CACHE and predicate(rule)
         )
 
+    def purge_stale_authority_rules(self, expected: List[Rule]) -> List[Rule]:
+        """Evict authority fragments not in the controller's ``expected`` set.
+
+        A switch that died and came back still holds the authority
+        fragments of partitions that were re-homed elsewhere while it was
+        down.  Left in place, they shadow freshly installed copies (same
+        priority, earlier insertion order wins), inflate the TCAM
+        footprint and silently zero the load measurements the rebalancer
+        depends on.  Identity (``is``) comparison is deliberate: the
+        controller tracks the exact fragment objects it installed.
+        """
+        expected_ids = {id(rule) for rule in expected}
+        return self.pipeline.authority.evict_if(
+            lambda rule: id(rule) not in expected_ids
+        )
+
     # -- the data plane ------------------------------------------------------------
     def process(self, packet: Packet) -> None:
         """Ingress classification / transit tunnelling / authority entry."""

@@ -128,7 +128,7 @@ class HeartbeatMonitor:
                 if name != switch
             ]
             if switch in self.controller.authority_switches and survivors:
-                repointed = self.controller.handle_authority_failure(switch)
+                repointed = self.controller.dispatch_authority_failure(switch)
                 # Reconverged: give the caller its hook (e.g. invariant
                 # checks).  When nothing was repointed — the switch owned
                 # nothing, or no failover target was IGP-reachable — the
@@ -178,6 +178,10 @@ class DifaneController:
         # Optional robustness layer (see connect_control_plane).
         self.channels: Dict[str, ControlChannel] = {}
         self.monitor: Optional[HeartbeatMonitor] = None
+        #: Sharded control plane, when attached (see repro.core.shards).
+        #: Failure handling then routes through the owning shard so a dead
+        #: shard's partitions wait for the lease takeover.
+        self.shard_plane = None
         self._policy_table: Optional[RuleTable] = None
         # Management statistics (experiment E9 reads these).
         self.control_messages = 0
@@ -280,9 +284,22 @@ class DifaneController:
         Partitions are not moved back proactively — :meth:`rebalance` or
         the next failover will use the switch — but it rejoins the
         candidate pool.  Returns True when the list actually changed.
+
+        Authority fragments the switch still holds from before it died
+        (its partitions were re-homed while it was down, so the
+        controller-side ``installed`` record is gone) are purged here:
+        left in place they would shadow any fresh install with identical
+        priority, so a later kill→recover→kill cycle double-counts the
+        switch's rules and load.
         """
         if name in self.authority_switches:
             return False
+        behaviour = self.network.maybe_node(name)
+        if behaviour is not None and hasattr(behaviour, "purge_stale_authority_rules"):
+            expected: List[Rule] = []
+            for state in self._states.values():
+                expected.extend(state.installed.get(name, ()))
+            behaviour.purge_stale_authority_rules(expected)
         self.authority_switches.append(name)
         return True
 
@@ -523,52 +540,83 @@ class DifaneController:
         controller packet-in until a repair — rather than re-pointed at
         a switch known to be unreachable.
         """
+        self._retire_authority(failed)
+        repointed = 0
+        for pid in sorted(self._states):
+            if self.failover_partition(pid, failed):
+                repointed += 1
+        return repointed
+
+    def dispatch_authority_failure(self, failed: str) -> int:
+        """Route an authority failure through the shard plane when attached.
+
+        With a :class:`~repro.core.shards.ShardedControlPlane` wired,
+        only partitions whose owning shard is alive fail over now; the
+        rest wait for the lease takeover.  Without one this is exactly
+        :meth:`handle_authority_failure`.
+        """
+        if self.shard_plane is not None:
+            return self.shard_plane.handle_authority_failure(failed)
+        return self.handle_authority_failure(failed)
+
+    def _retire_authority(self, failed: str) -> None:
+        """Drop ``failed`` from the authority candidate pool."""
         if failed not in self.authority_switches:
             raise ValueError(f"{failed!r} is not an authority switch")
         self.authority_switches.remove(failed)
         if not self.authority_switches:
             raise RuntimeError("last authority switch failed; policy is unreachable")
-        repointed = 0
-        for state in self._states.values():
-            if failed in state.owners:
-                state.owners.remove(failed)
-                state.installed.pop(failed, None)
-            else:
-                continue
-            if not any(self._igp_reachable(owner) for owner in state.owners):
-                replacement = self._least_loaded_authority()
-                if replacement is None:
-                    continue  # nothing reachable to fail over to
-                fragments = [
-                    rule.derive(kind=RuleKind.AUTHORITY)
-                    for rule in state.partition.rules
-                ]
-                switch = self._switch(replacement)
-                for fragment in fragments:
-                    switch.install_rule(fragment)
-                    self.control_messages += 1
-                state.owners = [replacement]
-                state.installed[replacement] = fragments
-            elif not self._igp_reachable(state.owners[0]):
-                # Rotate the first reachable backup into the primary slot.
-                best = next(o for o in state.owners if self._igp_reachable(o))
-                state.owners.remove(best)
-                state.owners.insert(0, best)
-            primary = state.owners[0]
-            for switch_name, partition_rule in state.partition_rules.items():
-                switch = self._switch(switch_name)
-                switch.uninstall_rule(partition_rule)
-                new_rule = Rule(
-                    match=partition_rule.match,
-                    priority=0,
-                    actions=Encapsulate(primary, backups=tuple(state.owners[1:])),
-                    kind=RuleKind.PARTITION,
-                )
-                switch.install_rule(new_rule)
-                state.partition_rules[switch_name] = new_rule
+
+    def failover_partition(self, pid: int, failed: str) -> bool:
+        """Fail one partition over from ``failed``; True when re-pointed.
+
+        The per-partition core of :meth:`handle_authority_failure`,
+        callable on its own by the sharded control plane for deferred
+        failovers (the dead authority is already retired from the pool).
+        """
+        state = self._states[pid]
+        if failed not in state.owners:
+            return False
+        state.owners.remove(failed)
+        state.installed.pop(failed, None)
+        if not any(self._igp_reachable(owner) for owner in state.owners):
+            replacement = self._least_loaded_authority()
+            if replacement is None:
+                return False  # nothing reachable to fail over to
+            fragments = [
+                rule.derive(kind=RuleKind.AUTHORITY)
+                for rule in state.partition.rules
+            ]
+            switch = self._switch(replacement)
+            for fragment in fragments:
+                switch.install_rule(fragment)
                 self.control_messages += 1
-            repointed += 1
-        return repointed
+            state.owners = [replacement]
+            state.installed[replacement] = fragments
+        elif not self._igp_reachable(state.owners[0]):
+            # Rotate the first reachable backup into the primary slot.
+            best = next(o for o in state.owners if self._igp_reachable(o))
+            state.owners.remove(best)
+            state.owners.insert(0, best)
+        self._repoint_partition_rules(state)
+        return True
+
+    def _repoint_partition_rules(self, state: "_PartitionState") -> None:
+        """Re-point every ingress switch's partition rule at the current
+        owner list (primary first)."""
+        primary = state.owners[0]
+        for switch_name, partition_rule in state.partition_rules.items():
+            switch = self._switch(switch_name)
+            switch.uninstall_rule(partition_rule)
+            new_rule = Rule(
+                match=partition_rule.match,
+                priority=0,
+                actions=Encapsulate(primary, backups=tuple(state.owners[1:])),
+                kind=RuleKind.PARTITION,
+            )
+            switch.install_rule(new_rule)
+            state.partition_rules[switch_name] = new_rule
+            self.control_messages += 1
 
     def _igp_reachable(self, name: str) -> bool:
         """Link-state view: a switch with no remaining links is known
@@ -691,19 +739,7 @@ class DifaneController:
                     self._switch(owner).uninstall_rule(fragment)
                     self.control_messages += 1
             state.owners = new_owners
-            # Re-point every ingress switch's partition rule.
-            for switch_name, partition_rule in state.partition_rules.items():
-                switch = self._switch(switch_name)
-                switch.uninstall_rule(partition_rule)
-                new_rule = Rule(
-                    match=partition_rule.match,
-                    priority=0,
-                    actions=Encapsulate(new_primary, backups=tuple(new_owners[1:])),
-                    kind=RuleKind.PARTITION,
-                )
-                switch.install_rule(new_rule)
-                state.partition_rules[switch_name] = new_rule
-                self.control_messages += 1
+            self._repoint_partition_rules(state)
         return moved
 
     # -- transparency: per-policy-rule statistics -------------------------------------

@@ -44,6 +44,7 @@ __all__ = [
     "PartitionResult",
     "partition_policy",
     "assign_partitions",
+    "assign_partitions_to_shards",
     "build_partition_rules",
 ]
 
@@ -406,6 +407,29 @@ def assign_partitions(
         for name in chosen:
             load[name] += max(partition.entry_count, 1)
     return assignment
+
+
+def assign_partitions_to_shards(
+    partition_ids: Sequence[int],
+    n_shards: int,
+    seed: int = 0,
+) -> Dict[int, int]:
+    """Deterministic partition → controller-shard ownership.
+
+    Ownership is a pure function of ``(seed, partition id, shard
+    count)`` via the sweep runner's SHA-256 seed derivation — stable
+    across processes, worker counts, and membership churn elsewhere, so
+    two replicas of the control plane always agree on who owns what
+    without talking.
+    """
+    from repro.parallel.seeds import derive_seed
+
+    if n_shards < 1:
+        raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+    return {
+        pid: derive_seed(seed, ("shard", pid, n_shards)) % n_shards
+        for pid in partition_ids
+    }
 
 
 def build_partition_rules(

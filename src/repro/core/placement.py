@@ -18,7 +18,7 @@ from typing import List
 
 import networkx as nx
 
-__all__ = ["choose_authority_switches"]
+__all__ = ["choose_authority_switches", "choose_spare_switches"]
 
 
 def choose_authority_switches(
@@ -56,6 +56,30 @@ def choose_authority_switches(
         return _k_center(graph, switches, count)
 
     raise ValueError(f"unknown placement strategy {strategy!r}")
+
+
+def choose_spare_switches(
+    topology,
+    authorities,
+    count: int,
+    strategy: str = "central",
+    seed: int = 0,
+) -> List[str]:
+    """Pick ``count`` spare authority candidates, excluding ``authorities``.
+
+    The warm pool a rebalancer re-homes hot or orphaned partitions onto:
+    the remaining switches ranked by the same placement strategies as
+    :func:`choose_authority_switches`.  Deterministic for a given
+    (topology, authorities, strategy, seed); returns fewer than ``count``
+    when the topology runs out of non-authority switches.
+    """
+    if count < 0:
+        raise ValueError(f"count must be >= 0, got {count}")
+    taken = set(authorities)
+    ranked = choose_authority_switches(
+        topology, len(topology.switches()), strategy=strategy, seed=seed
+    )
+    return [name for name in ranked if name not in taken][:count]
 
 
 def _k_center(graph: nx.Graph, switches: List[str], count: int) -> List[str]:

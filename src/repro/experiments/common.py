@@ -125,17 +125,26 @@ def metrics_document(
     from repro.obs import context as _obs_context
 
     ctx = context if context is not None else _obs_context.current()
+    notes = {
+        key: _json_safe(value)
+        for key, value in sorted(result.notes.items())
+        if not key.startswith("_")
+    }
     document: Dict[str, object] = {
         "schema": METRICS_SCHEMA,
         "experiment": result.name,
         "title": result.title,
-        "notes": {
-            key: _json_safe(value)
-            for key, value in sorted(result.notes.items())
-            if not key.startswith("_")
-        },
+        "notes": notes,
         "metrics": ctx.metrics.snapshot(exclude_prefixes=exclude_prefixes),
     }
+    # A sharded control plane's export is a first-class document section
+    # (like telemetry), not a note: lift it out so goldens and obs diff
+    # address it as control_plane.* paths.
+    control_plane = notes.pop("control_plane", None)
+    if control_plane is not None:
+        from repro.obs.telemetry import control_plane_section
+
+        document["control_plane"] = control_plane_section(control_plane)
     if ctx.tracer.enabled:
         document["trace"] = ctx.tracer.accounting()
     recorder = getattr(ctx, "telemetry", None)

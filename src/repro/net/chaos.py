@@ -10,7 +10,10 @@ timeline of fault events against a live simulation:
   (see :class:`~repro.net.links.Link`'s mutable fault parameters);
 * **control-plane brownouts** — every control session's shared
   :class:`~repro.openflow.channel.ChannelFaultModel` drop probability
-  spikes for a window.
+  spikes for a window;
+* **controller-shard kills** — a replica of the sharded control plane
+  dies and is repaired (see :mod:`repro.core.shards`): its partitions'
+  management stalls until the lease takeover adopts them.
 
 Everything is derived from one seed, so a chaos soak is reproducible:
 same seed, same kills at the same instants, same losses.  The schedule
@@ -48,6 +51,10 @@ class ChaosSpec:
     burst_loss_probability: float = 0.3
     brownouts: int = 1
     brownout_drop_probability: float = 0.5
+    #: Kill/repair cycles of controller shards (needs a
+    #: :class:`~repro.core.shards.ShardedControlPlane` wired into the
+    #: schedule; exercises lease takeover and deferred failovers).
+    shard_kills: int = 0
     #: Outage windows are drawn uniformly from this range (seconds).
     min_outage_s: float = 0.05
     max_outage_s: float = 0.15
@@ -68,10 +75,12 @@ class ChaosSchedule:
         network: SimNetwork,
         injector: FailureInjector,
         fault_model: Optional[ChannelFaultModel] = None,
+        shard_plane=None,
     ):
         self.network = network
         self.injector = injector
         self.fault_model = fault_model
+        self.shard_plane = shard_plane
         #: Planned events as ``(time, kind, target)``, in registration order.
         self.planned: List[Tuple[float, str, str]] = []
 
@@ -83,6 +92,17 @@ class ChaosSchedule:
         if repair_at is not None:
             self.injector.restore_switch_at(repair_at, name)
             self.planned.append((repair_at, "repair-switch", name))
+
+    def kill_shard(self, at: float, name: str, repair_at: Optional[float] = None) -> None:
+        """Kill controller shard ``name`` at ``at`` (repair optional)."""
+        if self.shard_plane is None:
+            raise ValueError("kill_shard needs a ShardedControlPlane")
+        scheduler = self.network.scheduler
+        scheduler.schedule_at(at, self.shard_plane.kill_shard, name)
+        self.planned.append((at, "kill-shard", name))
+        if repair_at is not None:
+            scheduler.schedule_at(repair_at, self.shard_plane.restore_shard, name)
+            self.planned.append((repair_at, "repair-shard", name))
 
     def flap_link(self, at: float, a: str, b: str, up_at: float) -> None:
         """Down the ``a``–``b`` link at ``at`` and restore it at ``up_at``."""
@@ -122,6 +142,8 @@ class ChaosSchedule:
         authority_candidates: Sequence[str] = (),
         flap_candidates: Optional[Sequence[Tuple[str, str]]] = None,
         fault_model: Optional[ChannelFaultModel] = None,
+        shard_plane=None,
+        shard_candidates: Sequence[str] = (),
     ) -> "ChaosSchedule":
         """Draw a full schedule from ``spec`` (deterministic in its seed).
 
@@ -129,9 +151,13 @@ class ChaosSchedule:
         a traffic source (no attached hosts); ``authority_candidates``
         are killed one at a time (windows may still overlap other
         faults).  ``flap_candidates`` defaults to every switch–switch
-        link in the topology.
+        link in the topology.  ``shard_candidates`` (with a
+        ``shard_plane``) enables controller-shard kills; their draws
+        come *after* every legacy draw, so specs without shard kills
+        produce byte-identical plans to earlier releases.
         """
-        schedule = cls(network, injector, fault_model=fault_model)
+        schedule = cls(network, injector, fault_model=fault_model,
+                       shard_plane=shard_plane)
         rng = random.Random(f"chaos:{spec.seed}")
         if flap_candidates is None:
             flap_candidates = schedule._switch_links()
@@ -165,6 +191,10 @@ class ChaosSchedule:
             for _ in range(spec.brownouts):
                 start, end = window()
                 schedule.brownout(start, spec.brownout_drop_probability, end)
+        if shard_plane is not None and spec.shard_kills and shard_candidates:
+            for name in _sample(rng, list(shard_candidates), spec.shard_kills):
+                start, end = window()
+                schedule.kill_shard(start, name, repair_at=end)
         schedule.planned.sort(key=lambda event: event[0])
         return schedule
 

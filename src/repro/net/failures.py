@@ -128,5 +128,17 @@ class FailureInjector:
 
     def _set_alive(self, name: str, alive: bool) -> None:
         behaviour = self.network.maybe_node(name)
-        if behaviour is not None and hasattr(behaviour, "alive"):
+        if behaviour is None:
+            return
+        if hasattr(behaviour, "alive"):
             behaviour.alive = alive
+        channel = getattr(behaviour, "control_channel", None)
+        if channel is None:
+            return
+        channel.set_endpoint_alive("down", alive)
+        if not alive:
+            # A dead endpoint can neither receive retransmissions nor
+            # return acks: abort its control session's pending ARQ state
+            # so retry timers stop firing against it and undelivered
+            # messages are counted lost (exact accounting under chaos).
+            channel.drain_pending()

@@ -256,6 +256,16 @@ class SimNetwork:
         """The behaviour object for ``name``, or ``None`` when unregistered."""
         return self._nodes.get(name)
 
+    def switch_alive(self, name: str) -> bool:
+        """Liveness of a switch behaviour (unregistered counts as alive).
+
+        The control plane's oracle view: chaos marks a killed switch's
+        behaviour ``alive = False``, and the rebalancer / invariant
+        checker consult this rather than duplicating the attribute walk.
+        """
+        behaviour = self._nodes.get(name)
+        return behaviour is None or getattr(behaviour, "alive", True)
+
     def rebuild_routes(self) -> None:
         """Recompute routing after a topology change (link-state convergence).
 

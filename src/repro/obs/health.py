@@ -223,5 +223,11 @@ def _top_switches(windows) -> List:
         for prefix in _WORK_PREFIXES:
             for switch, value in _per_switch(window["counters"], prefix).items():
                 totals[switch] = totals.get(switch, 0.0) + value
-    ranked = sorted(totals.items(), key=lambda kv: (-kv[1], kv[0]))
+    # Switches with zero total work are not "heavy" — an all-zero load
+    # series (e.g. counters explicitly exported as 0.0) must not produce
+    # a spurious finding.
+    ranked = sorted(
+        ((switch, total) for switch, total in totals.items() if total),
+        key=lambda kv: (-kv[1], kv[0]),
+    )
     return ranked[:TOP_K_SWITCHES]

@@ -40,12 +40,18 @@ from repro.obs.registry import MetricsRegistry
 __all__ = [
     "TelemetryRecorder",
     "telemetry_section",
+    "control_plane_section",
     "TELEMETRY_SCHEMA",
+    "CONTROL_PLANE_SCHEMA",
     "DEFAULT_TELEMETRY_INTERVAL_S",
 ]
 
 #: Version tag of the telemetry section inside the metrics document.
 TELEMETRY_SCHEMA = "difane-telemetry/1"
+
+#: Version tag of the control-plane section (shard membership, lease
+#: events, migrations — see :meth:`repro.core.shards.ShardedControlPlane.export`).
+CONTROL_PLANE_SCHEMA = "difane-control-plane/1"
 
 #: Default sampling cadence in simulated seconds.  Chosen so the pinned
 #: golden configurations (C1 soak at 0.3–1.0 s, A6 transient at 0.4 s)
@@ -217,4 +223,17 @@ def telemetry_section(recorder: TelemetryRecorder) -> Dict[str, object]:
 
     section = recorder.export()
     section["findings"] = evaluate_telemetry(section)
+    return section
+
+
+def control_plane_section(export: Dict[str, object]) -> Dict[str, object]:
+    """Normalize a control-plane export into the metrics document section.
+
+    ``export`` is what :meth:`ShardedControlPlane.export` returns — a
+    plain dict already, but this chokepoint stamps (and pins) the schema
+    tag and sorts the top-level keys so the section diffs stably across
+    runs and releases.
+    """
+    section = dict(sorted(export.items()))
+    section["schema"] = CONTROL_PLANE_SCHEMA
     return section

@@ -40,6 +40,11 @@ class TraceKind:
     INSTALL_RECEIVED = "install-received"  # ingress switch absorbed it
     DELIVERED = "delivered"              # terminal: reached its host
     DROPPED = "dropped"                  # terminal: lost (detail = reason)
+    # Control-plane spans (subject is a rule / shard, not a packet).
+    MIGRATE_START = "migrate-start"      # two-phase migration: install at target
+    MIGRATE_FLIP = "migrate-flip"        # redirects re-pointed at the target
+    MIGRATE_DONE = "migrate-done"        # source retired, migration complete
+    SHARD_TAKEOVER = "shard-takeover"    # lease expired, new leader elected
 
     #: Terminal kinds: exactly one per packet that leaves the system.
     TERMINAL = frozenset({DELIVERED, DROPPED})

@@ -97,13 +97,15 @@ class ChannelFaultModel:
 class _Pending:
     """Sender-side state of one unacked reliable message."""
 
-    __slots__ = ("message", "attempts", "timer", "timeout_s")
+    __slots__ = ("message", "attempts", "timer", "timeout_s", "on_acked")
 
-    def __init__(self, message: Message, timeout_s: float):
+    def __init__(self, message: Message, timeout_s: float,
+                 on_acked: Optional[Callable[[], None]] = None):
         self.message = message
         self.attempts = 1
         self.timer: Optional[ScheduledEvent] = None
         self.timeout_s = timeout_s
+        self.on_acked = on_acked
 
 
 class ControlChannel:
@@ -161,6 +163,10 @@ class ControlChannel:
         self._next_seq = {"up": 0, "down": 0}
         self._pending: Dict[Tuple[str, int], _Pending] = {}
         self._seen: Dict[str, Set[int]] = {"up": set(), "down": set()}
+        #: Liveness of each direction's *receiver* ("down" = the switch
+        #: side, "up" = the controller side).  A dead receiver neither
+        #: processes deliveries nor returns acks — see set_endpoint_alive.
+        self.endpoint_alive: Dict[str, bool] = {"up": True, "down": True}
         #: Called as ``on_lost(direction, message)`` when a message is
         #: abandoned (retries exhausted, or dropped on an unreliable send).
         self.on_lost: Optional[Callable[[str, Message], None]] = None
@@ -189,26 +195,39 @@ class ControlChannel:
         }
 
     # -- public API -----------------------------------------------------------
-    def send_to_controller(self, message: Message, reliable: Optional[bool] = None) -> None:
+    def send_to_controller(
+        self,
+        message: Message,
+        reliable: Optional[bool] = None,
+        on_acked: Optional[Callable[[], None]] = None,
+    ) -> None:
         """Switch-side send; arrives at the controller after the latency."""
         self.messages_up += 1
         self._m[("up", "attempted")].inc()
-        self._timed_send("up", message, self.reliable if reliable is None else reliable)
+        self._timed_send("up", message,
+                         self.reliable if reliable is None else reliable, on_acked)
 
-    def send_to_switch(self, message: Message, reliable: Optional[bool] = None) -> None:
+    def send_to_switch(
+        self,
+        message: Message,
+        reliable: Optional[bool] = None,
+        on_acked: Optional[Callable[[], None]] = None,
+    ) -> None:
         """Controller-side send; arrives at the switch after the latency."""
         self.messages_down += 1
         self._m[("down", "attempted")].inc()
-        self._timed_send("down", message, self.reliable if reliable is None else reliable)
+        self._timed_send("down", message,
+                         self.reliable if reliable is None else reliable, on_acked)
 
-    def _timed_send(self, direction: str, message: Message, reliable: bool) -> None:
+    def _timed_send(self, direction: str, message: Message, reliable: bool,
+                    on_acked: Optional[Callable[[], None]] = None) -> None:
         profiler = self._profiler
         if profiler is not None and profiler.enabled:
             started = _time.perf_counter()
-            self._send(direction, message, reliable)
+            self._send(direction, message, reliable, on_acked)
             profiler.observe("channel-send", _time.perf_counter() - started)
         else:
-            self._send(direction, message, reliable)
+            self._send(direction, message, reliable, on_acked)
 
     def counters(self) -> Dict[str, int]:
         """The attempted/delivered/retry/duplicate/lost breakdown."""
@@ -226,11 +245,18 @@ class ControlChannel:
         }
 
     # -- transmission mechanics -------------------------------------------------
-    def _send(self, direction: str, message: Message, reliable: bool) -> None:
+    def _send(self, direction: str, message: Message, reliable: bool,
+              on_acked: Optional[Callable[[], None]] = None) -> None:
         if not reliable and self.fault_model is None:
             # Fast path: the original perfect-FIFO channel, untouched.
             self.scheduler.schedule(self.latency_s, self._deliver_unreliable,
                                     direction, message)
+            if on_acked is not None:
+                # Perfect channel: the ack returns one RTT after the send —
+                # but only a live receiver acks (checked at delivery time).
+                self.scheduler.schedule(
+                    self.latency_s, self._maybe_ack_unreliable, direction, on_acked
+                )
             return
         if not reliable:
             if self.fault_model.drops_transmission():
@@ -238,10 +264,14 @@ class ControlChannel:
                 return
             delay = self.latency_s + self.fault_model.transmission_delay()
             self.scheduler.schedule(delay, self._deliver_unreliable, direction, message)
+            if on_acked is not None:
+                self.scheduler.schedule(
+                    delay, self._maybe_ack_unreliable, direction, on_acked
+                )
             return
         seq = self._next_seq[direction]
         self._next_seq[direction] += 1
-        pending = _Pending(message, self.retx_timeout_s)
+        pending = _Pending(message, self.retx_timeout_s, on_acked)
         self._pending[(direction, seq)] = pending
         self._transmit(direction, seq, pending)
 
@@ -281,7 +311,22 @@ class ControlChannel:
         else:
             self._transmit(direction, seq, pending)
 
+    def set_endpoint_alive(self, direction: str, alive: bool) -> None:
+        """Mark one direction's receiver dead or alive.
+
+        A dead receiver swallows every in-flight transmission silently —
+        no handler runs, no ack returns, so reliable senders keep
+        retrying until the endpoint is restored (or their retry budget
+        runs out).  Callers that kill an endpoint usually also call
+        :meth:`drain_pending` to settle what the dead side had in flight.
+        """
+        if direction not in self.endpoint_alive:
+            raise ValueError(f"unknown direction {direction!r}")
+        self.endpoint_alive[direction] = alive
+
     def _deliver_reliable(self, direction: str, seq: int, message: Message) -> None:
+        if not self.endpoint_alive[direction]:
+            return  # receiver is dead: no delivery, no ack
         # Ack every reception — the sender may have missed the previous ack.
         if not self._drops():
             delay = self.latency_s + self._extra_delay()
@@ -299,10 +344,24 @@ class ControlChannel:
 
     def _ack_arrived(self, direction: str, seq: int) -> None:
         pending = self._pending.pop((direction, seq), None)
-        if pending is not None and pending.timer is not None:
+        if pending is None:
+            return
+        if pending.timer is not None:
             pending.timer.cancel()
+        if pending.on_acked is not None:
+            pending.on_acked()
+
+    def _maybe_ack_unreliable(self, direction: str,
+                              on_acked: Callable[[], None]) -> None:
+        """Fire an unreliable send's ack one latency on — dead receivers
+        never ack, which is what makes lease-ack staleness emergent even
+        on a fault-free channel."""
+        if self.endpoint_alive[direction]:
+            self.scheduler.schedule(self.latency_s, on_acked)
 
     def _deliver_unreliable(self, direction: str, message: Message) -> None:
+        if not self.endpoint_alive[direction]:
+            return  # receiver is dead: the transmission vanishes
         self._hand_over(direction, message)
 
     def _hand_over(self, direction: str, message: Message) -> None:
@@ -332,6 +391,33 @@ class ControlChannel:
     def pending_messages(self) -> List[Message]:
         """Reliable messages still awaiting an ack (diagnostics)."""
         return [p.message for p in self._pending.values()]
+
+    def drain_pending(self) -> Dict[str, int]:
+        """Abort all unacked retransmit state — the endpoint died mid-flight.
+
+        Cancels every pending ack timer so no retry fires against a dead
+        endpoint.  A pending message whose sequence number the receiver
+        has already seen was *delivered* (only the ack was outstanding):
+        its completion callback still fires and nothing is counted lost.
+        Everything else is counted permanently lost through the same
+        ``lost`` counter / ``on_lost`` hook as retry exhaustion, so
+        ``attempted == delivered + lost`` reconciles exactly for the
+        drained messages.
+        """
+        drained = {"delivered": 0, "lost": 0}
+        for key in sorted(self._pending):
+            direction, seq = key
+            pending = self._pending.pop(key)
+            if pending.timer is not None:
+                pending.timer.cancel()
+            if seq in self._seen[direction]:
+                drained["delivered"] += 1
+                if pending.on_acked is not None:
+                    pending.on_acked()
+            else:
+                drained["lost"] += 1
+                self._count_lost(direction, pending.message)
+        return drained
 
     def __repr__(self) -> str:
         return (

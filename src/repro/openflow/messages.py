@@ -28,6 +28,9 @@ __all__ = [
     "StatsRequest",
     "StatsReply",
     "Heartbeat",
+    "LeaseRenew",
+    "OwnershipTransfer",
+    "OwnershipAck",
 ]
 
 _transaction_ids = itertools.count()
@@ -127,3 +130,42 @@ class Heartbeat(Message):
     switch: str
     beat: int = 0
     sent_at: float = 0.0
+
+
+@dataclass
+class LeaseRenew(Message):
+    """Controller-shard leader → follower: leadership lease broadcast.
+
+    Carries the leader's identity and monotonically increasing term; a
+    follower whose lease expires (no renewal for the timeout) starts a
+    deterministic election.  Sent reliably — the ARQ layer makes the
+    lease tolerate channel drop/delay faults.
+    """
+
+    leader: str
+    term: int = 0
+    sent_at: float = 0.0
+
+
+@dataclass
+class OwnershipTransfer(Message):
+    """Shard leader → shard: adopt these partitions (takeover handshake).
+
+    The leader re-derives ownership of a dead shard's partitions over the
+    live membership and hands each new owner its set; the transfer is
+    complete only when the matching :class:`OwnershipAck` arrives, so the
+    handshake inherits the channel's seq/ack reliability semantics.
+    """
+
+    shard: str
+    partition_ids: tuple = ()
+    term: int = 0
+
+
+@dataclass
+class OwnershipAck(Message):
+    """Shard → leader: the partitions of an OwnershipTransfer are adopted."""
+
+    shard: str
+    partition_ids: tuple = ()
+    term: int = 0

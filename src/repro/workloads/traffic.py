@@ -29,6 +29,7 @@ __all__ = [
     "packet_sequence",
     "poisson_arrivals",
     "host_pair_packets",
+    "zipf_host_pair_packets",
 ]
 
 
@@ -164,6 +165,57 @@ def host_pair_packets(
     result: List[TimedPacket] = []
     for flow_id, start in enumerate(start_times):
         src, dst = rng.sample(hosts, 2)
+        header_kwargs = dict(
+            nw_src=host_ips[src],
+            nw_dst=host_ips[dst],
+            nw_proto=6,
+            tp_src=rng.randint(1024, 65535),
+            tp_dst=80,
+        )
+        for p_index in range(flow_packets):
+            packet = Packet.from_fields(layout, flow_id=flow_id, **header_kwargs)
+            result.append(TimedPacket(start + p_index * 1e-6, src, packet))
+    return result
+
+
+def zipf_host_pair_packets(
+    topology,
+    host_ips: Dict[str, int],
+    layout: HeaderLayout,
+    count: int,
+    rate: float,
+    alpha: float = 1.2,
+    seed: int = 0,
+    flow_packets: int = 1,
+    deterministic_arrivals: bool = False,
+) -> List[TimedPacket]:
+    """Like :func:`host_pair_packets`, but with Zipf-skewed destinations.
+
+    Destination hosts are drawn from ``Zipf(alpha)`` over the host list
+    order (the first host is the hottest), sources uniformly from the
+    rest.  Because routing rules key on ``nw_dst``, the skew propagates
+    straight through the policy cut into per-partition redirect load —
+    the workload that trips the authority-imbalance detector and gives
+    a rebalancer something real to fix.
+    """
+    rng = random.Random(seed)
+    hosts = list(host_ips)
+    if len(hosts) < 2:
+        raise ValueError("need at least two hosts")
+    sampler = ZipfSampler(len(hosts), alpha=alpha, seed=seed, shuffle=False)
+    if deterministic_arrivals:
+        start_times = [i / rate for i in range(count)]
+    else:
+        gap_rng = random.Random(seed + 1)
+        start_times = []
+        t = 0.0
+        for _ in range(count):
+            t += gap_rng.expovariate(rate)
+            start_times.append(t)
+    result: List[TimedPacket] = []
+    for flow_id, start in enumerate(start_times):
+        dst = hosts[sampler.sample()]
+        src = rng.choice([host for host in hosts if host != dst])
         header_kwargs = dict(
             nw_src=host_ips[src],
             nw_dst=host_ips[dst],

@@ -58,4 +58,6 @@ class TestCli:
         assert "E1-policies" in capsys.readouterr().out
 
     def test_registry_covers_all_ten(self):
-        assert set(EXPERIMENTS) == {f"E{i}" for i in range(1, 11)} | {"C1"}
+        assert set(EXPERIMENTS) == (
+            {f"E{i}" for i in range(1, 11)} | {"C1", "C2", "C2-STATIC"}
+        )

@@ -152,3 +152,92 @@ class TestExactlyOnce:
         assert sorted(m.rule for m in down) == [1000 + i for i in range(count)]
         assert channel.lost_up == channel.lost_down == 0
         assert channel.pending_messages() == []
+
+class TestAckCallbacks:
+    def test_on_acked_fires_once_on_perfect_channel(self):
+        scheduler = EventScheduler()
+        channel, up, _ = make_channel(scheduler)
+        acks = []
+        channel.send_to_controller(flow_mod(1), on_acked=lambda: acks.append(scheduler.now))
+        scheduler.run()
+        assert [m.rule for m in up] == [1]
+        # One RTT: delivery after one latency, ack back after another.
+        assert acks == [2e-3]
+
+    def test_on_acked_fires_once_despite_retransmission(self):
+        fm = ChannelFaultModel(drop_pattern=[True])
+        scheduler = EventScheduler()
+        channel, up, _ = make_channel(scheduler, fault_model=fm)
+        acks = []
+        channel.send_to_controller(flow_mod(1), on_acked=lambda: acks.append("ack"))
+        scheduler.run()
+        assert [m.rule for m in up] == [1]
+        assert channel.retries_up == 1
+        assert acks == ["ack"]
+
+    def test_on_acked_not_fired_on_retry_exhaustion(self):
+        fm = ChannelFaultModel(drop_probability=1.0)
+        scheduler = EventScheduler()
+        channel, up, _ = make_channel(scheduler, fault_model=fm, max_retries=2)
+        acks = []
+        channel.send_to_controller(flow_mod(1), on_acked=lambda: acks.append("ack"))
+        scheduler.run()
+        assert up == []
+        assert acks == []
+        assert channel.lost_up == 1
+
+
+class TestEndpointDeath:
+    def test_dead_endpoint_swallows_unreliable_sends(self):
+        scheduler = EventScheduler()
+        channel, up, down = make_channel(scheduler)
+        channel.set_endpoint_alive("up", False)
+        channel.send_to_controller(flow_mod(1))
+        channel.send_to_switch(flow_mod(2))
+        scheduler.run()
+        assert up == []  # dead controller side: swallowed
+        assert [m.rule for m in down] == [2]  # switch side still alive
+
+    def test_dead_endpoint_recovers_after_restore(self):
+        # Reliable channel, no drops: the dead receiver swallows data and
+        # returns no acks, so the sender retries until the restore.
+        fm = ChannelFaultModel()
+        scheduler = EventScheduler()
+        channel, up, _ = make_channel(scheduler, fault_model=fm, max_retries=None)
+        channel.set_endpoint_alive("up", False)
+        channel.send_to_controller(flow_mod(5))
+        scheduler.run(until=0.05)
+        assert up == []
+        assert channel.retries_up > 0
+        channel.set_endpoint_alive("up", True)
+        scheduler.run()
+        assert [m.rule for m in up] == [5]  # exactly once, post-restore
+        assert channel.pending_messages() == []
+
+    def test_drain_pending_reconciles_delivered_and_lost(self):
+        # Message A's data arrives but its ack is dropped (the receiver
+        # has seen its sequence number); message B's data is dropped
+        # outright.  Draining mid-flight must settle A as delivered
+        # (completion callback fires) and B as permanently lost.
+        fm = ChannelFaultModel(drop_pattern=[False, True, True])
+        scheduler = EventScheduler()
+        channel, up, _ = make_channel(
+            scheduler, fault_model=fm, max_retries=None, retx_timeout_s=0.1,
+        )
+        acked = []
+        lost = []
+        channel.on_lost = lambda direction, message: lost.append(message.rule)
+        channel.send_to_controller(flow_mod(1), on_acked=lambda: acked.append(1))
+        channel.send_to_controller(flow_mod(2), on_acked=lambda: acked.append(2))
+        scheduler.run(until=0.01)  # before the first retransmit timer
+        assert [m.rule for m in up] == [1]
+        assert acked == []  # A's ack was dropped
+        drained = channel.drain_pending()
+        assert drained == {"delivered": 1, "lost": 1}
+        assert acked == [1]
+        assert lost == [2]
+        assert channel.lost_up == 1
+        assert channel.pending_messages() == []
+        # No timers left: the scheduler must go quiet immediately.
+        scheduler.run()
+        assert channel.counters()["retries_up"] == 0

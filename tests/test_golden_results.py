@@ -76,10 +76,25 @@ def _run_e4():
     return run_delay(flows=40)
 
 
+def _run_c2():
+    from repro.experiments.chaos import run_rebalance_soak
+
+    return run_rebalance_soak(rate=2_000.0, duration=0.5, rebalance=True)
+
+
+def _run_c2_static():
+    from repro.experiments.chaos import run_rebalance_soak
+
+    return run_rebalance_soak(rate=2_000.0, duration=0.5, rebalance=False)
+
+
 @pytest.mark.parametrize(
     "runner",
-    [_run_a6, _run_c1, _run_e4],
-    ids=["A6-failover-transient", "C1-chaos-soak", "E4-delay"],
+    [_run_a6, _run_c1, _run_e4, _run_c2, _run_c2_static],
+    ids=[
+        "A6-failover-transient", "C1-chaos-soak", "E4-delay",
+        "C2-rebalance-soak", "C2-static-soak",
+    ],
 )
 def test_golden_metrics(runner, run_context, update_goldens):
     result = runner()

@@ -262,6 +262,37 @@ class TestHealth:
         ])
         assert evaluate_telemetry(section) == evaluate_telemetry(section)
 
+    def test_zero_windows_yield_no_findings(self):
+        assert evaluate_telemetry(_section([])) == []
+
+    def test_single_balanced_window_yields_no_actionable_findings(self):
+        # One window with balanced load: no trend, no baseline, nothing
+        # beyond the informational top-switches digest may fire.
+        load = float(IMBALANCE_MIN_LOAD)
+        section = _section([
+            _window(0, {
+                "difane_redirects_handled_total{switch=a}": load,
+                "difane_redirects_handled_total{switch=b}": load,
+            }),
+        ])
+        findings = evaluate_telemetry(section)
+        assert [f for f in findings if f["severity"] != "info"] == []
+
+    def test_all_zero_loads_yield_no_spurious_findings(self):
+        # Windows exist but carry no authority load at all (e.g. a run
+        # where every packet hit the ingress cache): the imbalance
+        # detector must not divide by a zero total or flag Jain=1.0
+        # noise, and no other detector may fire on silence.
+        section = _section([
+            _window(0, {"packets_delivered_total": 10.0}),
+            _window(1, {
+                "difane_redirects_handled_total{switch=a}": 0.0,
+                "difane_redirects_handled_total{switch=b}": 0.0,
+            }),
+            _window(2, {}),
+        ])
+        assert evaluate_telemetry(section) == []
+
 
 class TestExport:
     def test_prometheus_counters_and_gauges(self):
