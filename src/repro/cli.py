@@ -25,6 +25,7 @@ from repro.analysis.asciiplot import ascii_plot
 from repro.analysis.report import render_series_table, render_table
 from repro.experiments.common import METRICS_SCHEMA, ExperimentResult, metrics_document
 from repro.flowspace.batch import set_columnar
+from repro.obs.sketch import set_sketch_mode
 from repro.flowspace.engine import ENGINE_CHOICES, set_default_engine
 from repro.obs import fresh_run_context
 from repro.parallel.cache import DEFAULT_CACHE_DIR, configure_artifact_cache
@@ -161,6 +162,18 @@ def _c2_static(quick: bool, jobs=None) -> ExperimentResult:
     return run_rebalance_soak(rebalance=False, **_c2_kwargs(quick))
 
 
+def _m1(quick: bool, jobs=None) -> ExperimentResult:
+    # Like C1, one soak is a single simulation — nothing to fan out; the
+    # --jobs determinism requirement is therefore structural, and the CI
+    # job pinning jobs=2 == jobs=1 documents exactly that.
+    from repro.experiments.streaming import run_streaming_soak
+    if quick:
+        return run_streaming_soak(
+            hosts=50_000, epochs=120, burst_size=256, jobs=jobs
+        )
+    return run_streaming_soak(jobs=jobs)
+
+
 EXPERIMENTS: Dict[str, Tuple[str, Callable[..., ExperimentResult]]] = {
     "E1": ("Table 1: evaluated policies", _e1),
     "E2": ("Fig: setup throughput, DIFANE vs NOX", _e2),
@@ -175,6 +188,7 @@ EXPERIMENTS: Dict[str, Tuple[str, Callable[..., ExperimentResult]]] = {
     "C1": ("Chaos soak: faults, detection, degradation", _c1),
     "C2": ("Self-healing soak: sharded control plane, migration", _c2),
     "C2-STATIC": ("C2 baseline: heartbeat-only failover, no shards", _c2_static),
+    "M1": ("Soak: million-host streaming workload, sketch metrics", _m1),
 }
 
 
@@ -222,6 +236,12 @@ def main(argv=None) -> int:
     run.add_argument("--no-columnar", dest="columnar", action="store_false",
                      help="force the scalar per-packet oracle path "
                           "(the default)")
+    run.add_argument("--sketch", action="store_true", default=False,
+                     help="memory-bounded observability: stream delivery "
+                          "outcomes into fixed-size sketches (quantiles, "
+                          "top-k) instead of per-packet records; required "
+                          "for the full-scale M1 soak to run in bounded "
+                          "RAM")
     run.add_argument("--jobs", type=int, default=None, metavar="N",
                      help="fan sweep points out over N worker processes "
                           "(0 = all cores); output is identical to a "
@@ -323,9 +343,10 @@ def main(argv=None) -> int:
         # Process-wide default: every classifier the experiments build —
         # pipelines, policy tables, cache simulators — resolves to this.
         set_default_engine(args.engine)
-    # Columnar mode is process-wide like the engine default; workers
-    # inherit it through the sweep runner's initializer.
+    # Columnar and sketch modes are process-wide like the engine default;
+    # workers inherit them through the sweep runner's initializer.
     set_columnar(args.columnar)
+    set_sketch_mode(args.sketch)
 
     if args.chaos_seed is not None:
         CHAOS_OPTIONS["seed"] = args.chaos_seed

@@ -17,6 +17,7 @@ EXPERIMENTS.md for the paper-claim ↔ measured-result index.
 | ``dynamics``    | Table E9  | cost of policy churn / mobility / failover |
 | ``failover``    | §4.3      | transient loss bounded by detection delay |
 | ``chaos``       | §4.3 (C1) | invariants + attribution under composed faults |
+| ``streaming``   | §4.4 (M1) | million-host soak in bounded RAM via sketches |
 """
 
 from repro.experiments.common import CALIBRATION, ExperimentResult

@@ -133,22 +133,57 @@ class DeliveryLog:
     recording a delivered batch costs O(1) on the hot path.  Reads
     (``len``, iteration, indexing) flatten pending blocks in arrival
     order, preserving the exact rows eager recording would have produced.
+
+    **Streaming mode** (:meth:`stream_into`) replaces retention entirely:
+    every outcome is handed to an observer (scalar records via
+    ``observer.record``, columnar blocks via ``observer.block``) and then
+    forgotten, so a million-packet soak holds zero per-packet rows.  Only
+    the outcome *count* survives (``len`` still works — ``SimNetwork``'s
+    repr relies on it); per-packet reads raise, loudly, rather than
+    return partial data.
     """
 
-    __slots__ = ("_entries", "_dirty")
+    __slots__ = ("_entries", "_dirty", "_observer", "_streamed")
 
     def __init__(self):
         self._entries: List[object] = []
         self._dirty = False
+        self._observer = None
+        self._streamed = 0
+
+    def stream_into(self, observer) -> None:
+        """Forward all future outcomes to ``observer``; retain nothing.
+
+        The observer needs ``record(DeliveryRecord)`` and
+        ``block(_BatchBlock)`` methods (:class:`DeliverySketchObserver`
+        implements both).  Must be enabled before any outcome lands —
+        retroactive streaming would silently split the log in two.
+        """
+        if self._entries:
+            raise RuntimeError("cannot enable streaming on a non-empty delivery log")
+        self._observer = observer
 
     def append(self, record: DeliveryRecord) -> None:
+        if self._observer is not None:
+            self._streamed += 1
+            self._observer.record(record)
+            return
         self._entries.append(record)
 
     def append_block(self, block: _BatchBlock) -> None:
+        if self._observer is not None:
+            self._streamed += len(block.batch)
+            self._observer.block(block)
+            return
         self._entries.append(block)
         self._dirty = True
 
     def _flush(self) -> List[DeliveryRecord]:
+        if self._observer is not None:
+            raise RuntimeError(
+                "delivery log is streaming into an observer; "
+                "per-packet records were not retained"
+            )
         if self._dirty:
             flat: List[DeliveryRecord] = []
             for entry in self._entries:
@@ -161,6 +196,8 @@ class DeliveryLog:
         return self._entries
 
     def __len__(self) -> int:
+        if self._observer is not None:
+            return self._streamed
         return len(self._flush())
 
     def __iter__(self):
@@ -170,7 +207,7 @@ class DeliveryLog:
         return self._flush()[index]
 
     def __bool__(self) -> bool:
-        return bool(self._entries)
+        return bool(self._entries) or self._streamed > 0
 
     def __repr__(self) -> str:
         return f"<DeliveryLog {len(self)} outcomes>"

@@ -17,6 +17,9 @@ five per-feature counter surfaces:
   structured findings;
 * :mod:`repro.obs.export` — Prometheus text exposition and JSONL
   time-series export of a run's metrics and telemetry;
+* :mod:`repro.obs.sketch` — memory-bounded mergeable sketches (KLL
+  quantiles, fixed-width counts, Space-Saving top-k) behind the
+  ``--sketch`` flag, for soaks too large to keep per-packet records;
 * :mod:`repro.obs.profile` — wall-time stage histograms around event
   callbacks, engine lookups and channel sends;
 * :mod:`repro.obs.attribution` — the canonical drop-reason → bucket
@@ -45,6 +48,14 @@ from repro.obs.registry import (
     MetricsRegistry,
     NULL_METRIC,
 )
+from repro.obs.sketch import (
+    DeliverySketchObserver,
+    FixedWidthHistogram,
+    QuantileSketch,
+    SpaceSavingSketch,
+    set_sketch_mode,
+    sketch_enabled,
+)
 from repro.obs.telemetry import (
     DEFAULT_TELEMETRY_INTERVAL_S,
     TELEMETRY_SCHEMA,
@@ -57,6 +68,8 @@ __all__ = [
     "Counter",
     "DEFAULT_TELEMETRY_INTERVAL_S",
     "DROP_ATTRIBUTION",
+    "DeliverySketchObserver",
+    "FixedWidthHistogram",
     "FlowTraceAnalysis",
     "Gauge",
     "Histogram",
@@ -64,6 +77,8 @@ __all__ = [
     "NULL_METRIC",
     "PacketTracer",
     "Profiler",
+    "QuantileSketch",
+    "SpaceSavingSketch",
     "RunContext",
     "STAGE_HISTOGRAM",
     "TELEMETRY_SCHEMA",
@@ -80,5 +95,7 @@ __all__ = [
     "fresh_run_context",
     "install",
     "records_like",
+    "set_sketch_mode",
+    "sketch_enabled",
     "telemetry_section",
 ]

@@ -27,6 +27,12 @@ import bisect
 import json
 from typing import Dict, Iterable, Optional, Tuple
 
+from repro.obs.sketch import (
+    FixedWidthHistogram,
+    QuantileSketch,
+    SpaceSavingSketch,
+)
+
 __all__ = [
     "Counter",
     "Gauge",
@@ -54,6 +60,12 @@ class _NullMetric:
     def observe(self, value: float) -> None:
         pass
 
+    def observe_repeated(self, value: float, count: int) -> None:
+        pass
+
+    def offer(self, key, count: int = 1) -> None:
+        pass
+
 
 NULL_METRIC = _NullMetric()
 
@@ -72,6 +84,9 @@ class Counter:
 
     def export(self):
         return self.value
+
+    def fresh(self) -> "Counter":
+        return Counter()
 
     def merge_from(self, other: "Counter") -> None:
         self.value += other.value
@@ -94,6 +109,9 @@ class Gauge:
 
     def export(self):
         return self.value
+
+    def fresh(self) -> "Gauge":
+        return Gauge()
 
     def merge_from(self, other: "Gauge") -> None:
         # max is associative and commutative; "highest level seen by any
@@ -170,6 +188,9 @@ class Histogram:
             },
         }
 
+    def fresh(self) -> "Histogram":
+        return Histogram(self.bounds)
+
     def merge_from(self, other: "Histogram") -> None:
         if other.bounds != self.bounds:
             raise ValueError("cannot merge histograms with different buckets")
@@ -184,6 +205,20 @@ class Histogram:
 
 
 _LabelKey = Tuple[Tuple[str, str], ...]
+
+#: Snapshot section per metric kind.  The three classic sections are
+#: always present (their shape is pinned by every existing golden); the
+#: sketch sections appear only when such metrics exist, so documents
+#: from sketch-free runs are byte-identical to before.
+_KIND_SECTIONS = {
+    "counter": "counters",
+    "gauge": "gauges",
+    "histogram": "histograms",
+    "fixedhist": "fixed_histograms",
+    "sketch": "sketches",
+    "topk": "top_k",
+}
+_ALWAYS_SECTIONS = ("counters", "gauges", "histograms")
 
 
 def _label_key(labels: Dict[str, object]) -> _LabelKey:
@@ -222,6 +257,22 @@ class MetricsRegistry:
     ) -> Histogram:
         return self._get("histogram", lambda: Histogram(bounds), name, labels)
 
+    def quantile_sketch(self, name: str, k: int = 256, **labels) -> QuantileSketch:
+        """A memory-bounded mergeable quantile sketch (see :mod:`.sketch`)."""
+        return self._get("sketch", lambda: QuantileSketch(k), name, labels)
+
+    def top_k(self, name: str, k: int = 32, **labels) -> SpaceSavingSketch:
+        """A Space-Saving heavy-hitter summary keeping ``k`` keys."""
+        return self._get("topk", lambda: SpaceSavingSketch(k), name, labels)
+
+    def fixed_histogram(
+        self, name: str, width: float, lo: float = 0.0, bins: int = 64, **labels
+    ) -> FixedWidthHistogram:
+        """An exact fixed-width counting histogram with overflow bucket."""
+        return self._get(
+            "fixedhist", lambda: FixedWidthHistogram(width, lo, bins), name, labels
+        )
+
     def _get(self, kind, factory, name, labels):
         if not self.enabled:
             return NULL_METRIC
@@ -234,7 +285,7 @@ class MetricsRegistry:
 
     def value(self, name: str, **labels):
         """The exported value of one metric, or ``None`` when absent."""
-        for kind in ("counter", "gauge", "histogram"):
+        for kind in _KIND_SECTIONS:
             metric = self._metrics.get((kind, name, _label_key(labels)))
             if metric is not None:
                 return metric.export()
@@ -273,17 +324,14 @@ class MetricsRegistry:
         """
         exclude = tuple(exclude_prefixes)
         out: Dict[str, Dict[str, object]] = {
-            "counters": {},
-            "gauges": {},
-            "histograms": {},
+            section: {} for section in _ALWAYS_SECTIONS
         }
         for (kind, name, label_key), metric in self._metrics.items():
             if exclude and name.startswith(exclude):
                 continue
-            out[kind + "s"][_render_key(name, label_key)] = metric.export()
-        for kind in out:
-            out[kind] = dict(sorted(out[kind].items()))
-        return out
+            section = _KIND_SECTIONS[kind]
+            out.setdefault(section, {})[_render_key(name, label_key)] = metric.export()
+        return {section: dict(sorted(out[section].items())) for section in sorted(out)}
 
     def write_json(self, path, **extra) -> None:
         """Persist :meth:`snapshot` (plus ``extra`` top-level keys)."""
@@ -297,10 +345,11 @@ class MetricsRegistry:
     def merge_from(self, other: "MetricsRegistry") -> "MetricsRegistry":
         """Fold ``other``'s metrics into this registry (in place)."""
         for key, metric in other._metrics.items():
-            kind, name, label_key = key
             mine = self._metrics.get(key)
             if mine is None:
-                mine = type(metric)() if kind != "histogram" else Histogram(metric.bounds)
+                # fresh() preserves per-instance shape (histogram bounds,
+                # sketch k) that a bare type(metric)() would lose.
+                mine = metric.fresh()
                 self._metrics[key] = mine
             mine.merge_from(metric)
         return self

@@ -65,15 +65,18 @@ def _init_worker(
     profile: bool,
     telemetry_interval_s: Optional[float] = None,
     columnar: bool = False,
+    sketch: bool = False,
 ) -> None:
     """Propagate process-wide knobs into a freshly started worker."""
     from repro.flowspace.batch import set_columnar
     from repro.flowspace.engine import set_default_engine
+    from repro.obs.sketch import set_sketch_mode
     from repro.parallel.cache import configure_artifact_cache
 
     set_default_engine(engine_name)
     configure_artifact_cache(cache_dir)
     set_columnar(columnar)
+    set_sketch_mode(sketch)
     _WORKER_OBS["metrics_enabled"] = metrics_enabled
     _WORKER_OBS["profile"] = profile
     _WORKER_OBS["telemetry_interval_s"] = telemetry_interval_s
@@ -132,6 +135,7 @@ class SweepRunner:
 
         from repro.flowspace.batch import columnar_enabled
         from repro.flowspace.engine import get_default_engine
+        from repro.obs.sketch import sketch_enabled
         from repro.parallel.cache import artifact_cache
 
         parent = obs_context.current()
@@ -143,6 +147,7 @@ class SweepRunner:
             parent.profiler.enabled,
             parent.telemetry.interval_s if parent.telemetry.enabled else None,
             columnar_enabled(),
+            sketch_enabled(),
         )
         try:
             executor = ProcessPoolExecutor(

@@ -12,7 +12,10 @@ two-day packet traces).  This subpackage provides statistical equivalents
   synthesizers, plus topology-aligned routing policies for the simulator.
 * :mod:`repro.workloads.traffic` — Zipf flow popularity, packet sequences
   and timed single-packet flow arrivals.
-* :mod:`repro.workloads.zipf` — the Zipf sampler.
+* :mod:`repro.workloads.zipf` — the Zipf sampler (cached CDF).
+* :mod:`repro.workloads.streaming` — seed-closed streaming generators for
+  million-host populations (diurnal load, flash crowds, mobility churn)
+  yielding bursts lazily in bounded memory.
 * :mod:`repro.workloads.trace` — record / save / replay packet traces.
 """
 
@@ -30,7 +33,19 @@ from repro.workloads.traffic import (
     poisson_arrivals,
     host_pair_packets,
 )
-from repro.workloads.batches import TimedBatch, host_pair_batches
+from repro.workloads.batches import (
+    TimedBatch,
+    host_pair_batches,
+    stream_host_pair_batches,
+)
+from repro.workloads.streaming import (
+    StreamSpec,
+    epoch_bursts,
+    host_addresses,
+    stream_bursts,
+    streaming_policy,
+    streaming_topology,
+)
 from repro.workloads.trace import Trace
 
 __all__ = [
@@ -47,5 +62,12 @@ __all__ = [
     "host_pair_packets",
     "TimedBatch",
     "host_pair_batches",
+    "stream_host_pair_batches",
+    "StreamSpec",
+    "epoch_bursts",
+    "host_addresses",
+    "stream_bursts",
+    "streaming_policy",
+    "streaming_topology",
     "Trace",
 ]

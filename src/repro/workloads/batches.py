@@ -16,7 +16,7 @@ the equivalence property test feeds the oracle path.
 from __future__ import annotations
 
 import random
-from typing import Dict, List
+from typing import Dict, Iterator, List
 
 import numpy as np
 
@@ -25,7 +25,7 @@ from repro.flowspace.fields import HeaderLayout
 from repro.workloads.traffic import TimedPacket
 from repro.workloads.zipf import ZipfSampler
 
-__all__ = ["TimedBatch", "host_pair_batches"]
+__all__ = ["TimedBatch", "host_pair_batches", "stream_host_pair_batches"]
 
 
 class TimedBatch:
@@ -58,7 +58,7 @@ class TimedBatch:
         return f"<TimedBatch t={self.time} switch={self.switch} n={len(self.batch)}>"
 
 
-def host_pair_batches(
+def stream_host_pair_batches(
     topology,
     host_ips: Dict[str, int],
     layout: HeaderLayout,
@@ -70,8 +70,8 @@ def host_pair_batches(
     seed: int = 0,
     size_bytes: int = 64,
     start_time: float = 0.0,
-) -> List[TimedBatch]:
-    """Zipf-popular host-pair bursts, built columnar.
+) -> Iterator[TimedBatch]:
+    """Zipf-popular host-pair bursts, built columnar and yielded lazily.
 
     Draws ``hot_flows`` distinct host-pair microflows (random source /
     destination hosts, random ephemeral source port, TCP to port 80 — the
@@ -83,9 +83,11 @@ def host_pair_batches(
     fancy indexing over the flow definition arrays, no per-packet Python
     objects.
 
-    Deterministic for a given ``seed`` regardless of columnar mode: the
-    flow pool, the Zipf draws and the packet-id reservation order are all
-    fixed by the schedule, not by how the batches are later executed.
+    Deterministic for a given ``seed`` regardless of columnar mode or
+    consumption pace: the flow pool, the Zipf draws and the packet-id
+    reservation order are all fixed by the schedule, not by how (or when)
+    the batches are later executed — ``list(...)`` of this generator is
+    exactly :func:`host_pair_batches`.
     """
     if bursts < 0:
         raise ValueError(f"bursts must be non-negative, got {bursts}")
@@ -110,7 +112,6 @@ def host_pair_batches(
     attachment = {host: topology.host_attachment(host) for host in hosts}
     flow_switches = [attachment[source] for source in flow_sources]
     sampler = ZipfSampler(hot_flows, alpha=alpha, seed=seed + 1)
-    out: List[TimedBatch] = []
     for burst in range(bursts):
         time = start_time + burst * interval_s
         flows = np.array(sampler.sample_many(burst_size), dtype=np.int64)
@@ -130,5 +131,35 @@ def host_pair_batches(
                 tp_src=tp_src[selected],
                 tp_dst=80,
             )
-            out.append(TimedBatch(time, switch, batch))
-    return out
+            yield TimedBatch(time, switch, batch)
+
+
+def host_pair_batches(
+    topology,
+    host_ips: Dict[str, int],
+    layout: HeaderLayout,
+    bursts: int,
+    burst_size: int,
+    interval_s: float = 1e-3,
+    hot_flows: int = 64,
+    alpha: float = 1.0,
+    seed: int = 0,
+    size_bytes: int = 64,
+    start_time: float = 0.0,
+) -> List[TimedBatch]:
+    """The materialized view of :func:`stream_host_pair_batches`."""
+    return list(
+        stream_host_pair_batches(
+            topology,
+            host_ips,
+            layout,
+            bursts,
+            burst_size,
+            interval_s=interval_s,
+            hot_flows=hot_flows,
+            alpha=alpha,
+            seed=seed,
+            size_bytes=size_bytes,
+            start_time=start_time,
+        )
+    )

@@ -13,7 +13,33 @@ from typing import List
 
 import numpy as np
 
-__all__ = ["ZipfSampler"]
+__all__ = ["ZipfSampler", "zipf_cdf"]
+
+
+def _build_cdf(n: int, alpha: float) -> np.ndarray:
+    weights = 1.0 / np.power(np.arange(1, n + 1, dtype=np.float64), alpha)
+    cdf = np.cumsum(weights)
+    cdf /= cdf[-1]
+    return cdf
+
+
+def zipf_cdf(n: int, alpha: float) -> np.ndarray:
+    """The normalized Zipf CDF for ``(n, alpha)``, cached across samplers.
+
+    Constructing the CDF is O(n) and was re-run by every sampler — at
+    streaming scale (n ≈ 10^6 hosts, one sampler per epoch) that
+    re-derivation dominated generation.  The artifact cache memoizes it
+    by content address; the returned array is shared and read-only.
+    """
+    from repro.parallel.cache import artifact_cache
+
+    cdf = artifact_cache().get(
+        "zipf-cdf", {"n": n, "alpha": float(alpha)}, lambda: _build_cdf(n, alpha)
+    )
+    # Re-assert on every hit: a disk-tier pickle round-trip restores
+    # writability, and samplers must never mutate the shared array.
+    cdf.setflags(write=False)
+    return cdf
 
 
 class ZipfSampler:
@@ -40,9 +66,7 @@ class ZipfSampler:
             raise ValueError(f"alpha must be non-negative, got {alpha}")
         self.n = n
         self.alpha = alpha
-        weights = 1.0 / np.power(np.arange(1, n + 1, dtype=np.float64), alpha)
-        self._cdf = np.cumsum(weights)
-        self._cdf /= self._cdf[-1]
+        self._cdf = zipf_cdf(n, alpha)
         self._rng = np.random.default_rng(seed)
         if shuffle:
             permutation = self._rng.permutation(n)

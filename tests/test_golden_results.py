@@ -88,12 +88,24 @@ def _run_c2_static():
     return run_rebalance_soak(rate=2_000.0, duration=0.5, rebalance=False)
 
 
+def _run_m1():
+    # The pinned-scale M1 config: sketch observability on, so the golden
+    # also pins the "sketches"/"top_k"/"fixed_histograms" registry
+    # sections and the sketch telemetry probe levels.
+    from repro.experiments.streaming import run_streaming_soak
+
+    return run_streaming_soak(
+        hosts=4096, edge_switches=4, epochs=40, burst_size=64,
+        rules_per_switch=16, sketch=True,
+    )
+
+
 @pytest.mark.parametrize(
     "runner",
-    [_run_a6, _run_c1, _run_e4, _run_c2, _run_c2_static],
+    [_run_a6, _run_c1, _run_e4, _run_c2, _run_c2_static, _run_m1],
     ids=[
         "A6-failover-transient", "C1-chaos-soak", "E4-delay",
-        "C2-rebalance-soak", "C2-static-soak",
+        "C2-rebalance-soak", "C2-static-soak", "M1-streaming-soak",
     ],
 )
 def test_golden_metrics(runner, run_context, update_goldens):
