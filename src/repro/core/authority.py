@@ -112,6 +112,7 @@ class DifaneSwitch(DataPlaneSwitch):
         forwarding_delay_s: float = 0.0,
         prefetch_fragments: int = 1,
         engine=None,
+        cache_options: Optional[dict] = None,
     ):
         if prefetch_fragments < 1:
             raise ValueError("prefetch_fragments must be >= 1")
@@ -128,6 +129,7 @@ class DifaneSwitch(DataPlaneSwitch):
             policy=eviction,
             default_idle_timeout=idle_timeout,
             default_hard_timeout=hard_timeout,
+            **(cache_options or {}),
         )
         self.redirect_rate = redirect_rate
         self.redirect_queue = redirect_queue
@@ -149,6 +151,9 @@ class DifaneSwitch(DataPlaneSwitch):
         self.redirects_handled = 0
         self.redirects_dropped = 0
         self.cache_installs_sent = 0
+        #: In-band install messages that carried more than one sibling
+        #: fragment (dependency-aware batching at prefetch > 1).
+        self.cache_install_batches_sent = 0
         self.cache_installs_received = 0
         self.failovers = 0
         self.unmatched = 0
@@ -192,12 +197,27 @@ class DifaneSwitch(DataPlaneSwitch):
 
     def _telemetry_probe(self) -> dict:
         """Per-window level samples for the telemetry recorder."""
-        return {
+        samples = {
             f"difane_cache_occupancy{{switch={self.name}}}": float(
                 self.cache.occupancy()
             ),
             f"difane_cache_evictions{{switch={self.name}}}": float(self.cache.evicted),
         }
+        if self.cache.policy is EvictionPolicy.COST:
+            # The churn split and the measured re-fetch penalty only
+            # matter to cost-aware eviction; gating the extra probe keys
+            # on the policy keeps the default-LRU goldens byte-identical.
+            samples[f"difane_cache_expirations{{switch={self.name}}}"] = float(
+                self.cache.expired
+            )
+            samples[f"difane_cache_invalidations{{switch={self.name}}}"] = float(
+                self.cache.invalidated
+            )
+            ewma = self.cache.refetch_penalty_ewma
+            samples[f"difane_cache_refetch_penalty_s{{switch={self.name}}}"] = (
+                float(ewma) if ewma is not None else 0.0
+            )
+        return samples
 
     # -- control plane (optional; wired by connect_control_plane) -----------------
     def connect_control(self, channel) -> None:
@@ -521,26 +541,39 @@ class DifaneSwitch(DataPlaneSwitch):
                 delay = self.install_latency_s + self.network.routes.distance(
                     self.name, ingress
                 )
+                penalty = self.network.routes.distance(ingress, self.name) + delay
                 for bits, positions in flows.items():
                     cached_rules = self._cache_rules_for(rule, bits)
                     repeat = len(positions)
-                    for cached in cached_rules:
-                        self.cache_installs_sent += repeat
-                        self._m["cache_installs_sent"].inc(repeat)
-                        if tracer.enabled:
-                            for position in positions:
-                                tracer.record(
-                                    self._now(), TraceKind.INSTALL_SENT,
-                                    sub_packets[position],
-                                    node=self.name, detail=ingress,
-                                )
-                        self.network.scheduler.schedule_batch(
-                            delay, target.install_cache_rule_times, cached, repeat
-                        )
+                    for group in self._fragment_groups(cached_rules, penalty):
+                        for cached in group:
+                            self.cache_installs_sent += repeat
+                            self._m["cache_installs_sent"].inc(repeat)
+                            if tracer.enabled:
+                                for position in positions:
+                                    tracer.record(
+                                        self._now(), TraceKind.INSTALL_SENT,
+                                        sub_packets[position],
+                                        node=self.name, detail=ingress,
+                                    )
+                        if len(group) == 1:
+                            self.network.scheduler.schedule_batch(
+                                delay, target.install_cache_rule_times,
+                                group[0], repeat,
+                            )
+                        else:
+                            # One batched message per redirected packet.
+                            self.cache_install_batches_sent += repeat
+                            self.network.scheduler.schedule_batch(
+                                delay, target.install_cache_rules_times,
+                                group, repeat,
+                            )
             else:
                 # Degenerate single-switch case: cache locally.
                 for bits, positions in flows.items():
-                    for cached in self._cache_rules_for(rule, bits):
+                    cached_rules = self._cache_rules_for(rule, bits)
+                    self._fragment_groups(cached_rules, self.install_latency_s)
+                    for cached in cached_rules:
                         self.install_cache_rule_times(cached, len(positions))
 
     def install_cache_rule_times(self, rule: Rule, count: int) -> None:
@@ -554,6 +587,20 @@ class DifaneSwitch(DataPlaneSwitch):
         """
         for _ in range(count):
             self.install_cache_rule(rule)
+
+    def install_cache_rules(self, rules: List[Rule]) -> None:
+        """Receive a batched in-band install: sibling win-region fragments
+        of one policy rule, carried in a single message."""
+        for rule in rules:
+            self.install_cache_rule(rule)
+
+    def install_cache_rules_times(self, rules: List[Rule], count: int) -> None:
+        """Columnar analogue of :meth:`install_cache_rules`: absorb the
+        same fragment batch ``count`` times (packet-outer, fragment-inner,
+        matching the scalar per-packet send order)."""
+        for _ in range(count):
+            for rule in rules:
+                self.install_cache_rule(rule)
 
     def _terminal_batch(self, batch, rule: Rule) -> None:
         """Batch analogue of :meth:`_terminal` (same action semantics)."""
@@ -638,7 +685,9 @@ class DifaneSwitch(DataPlaneSwitch):
             self._send_cache_install(ingress, rule, original_bits, packet)
         elif ingress == self.name:
             # Degenerate single-switch case: cache locally.
-            for cached in self._cache_rules_for(rule, original_bits):
+            cached_rules = self._cache_rules_for(rule, original_bits)
+            self._fragment_groups(cached_rules, self.install_latency_s)
+            for cached in cached_rules:
                 self.install_cache_rule(cached)
 
     def _cache_rules_for(self, rule: Rule, packet_bits: int) -> List[Rule]:
@@ -667,20 +716,51 @@ class DifaneSwitch(DataPlaneSwitch):
         target = self.network.node(ingress)
         delay = self.install_latency_s + self.network.routes.distance(self.name, ingress)
         tracer = self.network.tracer
-        for cached in cached_rules:
-            self.cache_installs_sent += 1
-            self._m["cache_installs_sent"].inc()
-            if tracer.enabled:
-                # Trace against the triggering packet (when known) so the
-                # flow-causal analyzer can attribute the install stage to
-                # the first packet's span; the rule itself carries no
-                # packet/flow identity.
-                tracer.record(
-                    self._now(), TraceKind.INSTALL_SENT,
-                    packet if packet is not None else cached,
-                    node=self.name, detail=ingress,
+        # The full miss penalty the ingress pays to re-fetch this entry:
+        # redirect to the authority plus the install path back.  Cost-aware
+        # eviction reads this stamp; other policies ignore it.
+        penalty = self.network.routes.distance(ingress, self.name) + delay
+        for group in self._fragment_groups(cached_rules, penalty):
+            for cached in group:
+                self.cache_installs_sent += 1
+                self._m["cache_installs_sent"].inc()
+                if tracer.enabled:
+                    # Trace against the triggering packet (when known) so
+                    # the flow-causal analyzer can attribute the install
+                    # stage to the first packet's span; the rule itself
+                    # carries no packet/flow identity.
+                    tracer.record(
+                        self._now(), TraceKind.INSTALL_SENT,
+                        packet if packet is not None else cached,
+                        node=self.name, detail=ingress,
+                    )
+            if len(group) == 1:
+                self.network.scheduler.schedule(
+                    delay, target.install_cache_rule, group[0]
                 )
-            self.network.scheduler.schedule(delay, target.install_cache_rule, cached)
+            else:
+                self.cache_install_batches_sent += 1
+                self.network.scheduler.schedule(
+                    delay, target.install_cache_rules, group
+                )
+
+    def _fragment_groups(
+        self, cached_rules: List[Rule], penalty: Optional[float] = None
+    ) -> List[List[Rule]]:
+        """Stamp re-fetch penalties and group sibling fragments for batching.
+
+        Fragments deriving from the same policy rule travel in one install
+        message (dependency-aware batching at ``prefetch_fragments > 1``);
+        a single-fragment group keeps the legacy one-rule message so the
+        event stream at prefetch=1 — the goldens' configuration — is
+        byte-identical.
+        """
+        groups: dict = {}
+        for cached in cached_rules:
+            if penalty is not None:
+                cached.refetch_penalty_s = penalty
+            groups.setdefault(id(cached.root_origin()), []).append(cached)
+        return list(groups.values())
 
     def _redirect_overload(self, packet: Packet) -> None:
         self.redirects_dropped += 1

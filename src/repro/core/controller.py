@@ -187,6 +187,7 @@ class DifaneController:
         self.control_messages = 0
         self.cache_entries_flushed = 0
         self.policy_updates = 0
+        self.cache_budget_updates = 0
         self.degraded_packet_ins = 0
         # Mirror into the run's registry so metrics JSON carries the
         # degraded-mode load without reaching into controller objects.
@@ -742,6 +743,62 @@ class DifaneController:
             self._repoint_partition_rules(state)
         return moved
 
+    # -- cache budget partitioning (cost-aware caching) ---------------------------------
+    def partition_cache_budgets(
+        self, total_budget: Optional[int] = None, floor: int = 1
+    ) -> Dict[str, int]:
+        """Partition a network-wide cache budget by per-ingress offered load.
+
+        A switch's offered load is the ingress classifications it has seen
+        (cache hits + local authority hits + redirects out) — the demand
+        its cache region actually absorbs.  The total budget (default: the
+        sum of current per-switch capacities, i.e. a pure reshuffle) is
+        apportioned by the largest-remainder method with a per-switch
+        ``floor``, deterministically (fractional-part descending, switch
+        name ascending), then applied through
+        :meth:`CacheManager.set_capacity` — a shrinking switch evicts down
+        under its own policy.  Returns the budget map.
+        """
+        names = sorted(self.network.topology.switches())
+        if not names:
+            return {}
+        switches = {name: self._switch(name) for name in names}
+        if total_budget is None:
+            total_budget = sum(s.cache.capacity for s in switches.values())
+        if total_budget < 0:
+            raise ValueError(f"total budget must be non-negative, got {total_budget}")
+        base = min(max(floor, 0), total_budget // len(names))
+        remaining = total_budget - base * len(names)
+        loads = {
+            name: s.cache_hits + s.authority_hits + s.redirects_out
+            for name, s in switches.items()
+        }
+        total_load = sum(loads.values())
+        budgets = {name: base for name in names}
+        if remaining > 0:
+            if total_load > 0:
+                quotas = {
+                    name: remaining * loads[name] / total_load for name in names
+                }
+            else:
+                quotas = {name: remaining / len(names) for name in names}
+            leftover = remaining
+            for name in names:
+                whole = int(quotas[name])
+                budgets[name] += whole
+                leftover -= whole
+            order = sorted(
+                names, key=lambda name: (-(quotas[name] - int(quotas[name])), name)
+            )
+            for name in order[:leftover]:
+                budgets[name] += 1
+        now = self.network.scheduler.now
+        for name in names:
+            switches[name].cache.set_capacity(budgets[name], now=now)
+            self.control_messages += 1
+        self.cache_budget_updates += 1
+        return budgets
+
     # -- transparency: per-policy-rule statistics -------------------------------------
     def collect_policy_counters(self):
         """Fold every derived rule's counters back onto the policy rules.
@@ -821,6 +878,7 @@ class DifaneNetwork:
         prefetch_fragments: int = 1,
         engine=None,
         loss_seed: int = 0,
+        cache_options: Optional[dict] = None,
     ) -> "DifaneNetwork":
         """Construct switches, controller and partitions over ``topology``.
 
@@ -843,6 +901,7 @@ class DifaneNetwork:
                     forwarding_delay_s=forwarding_delay_s,
                     prefetch_fragments=prefetch_fragments,
                     engine=engine,
+                    cache_options=cache_options,
                 )
             )
         if authority_switches is None:

@@ -58,8 +58,11 @@ def _cache_point(
             policy_params, LAYOUT, n_flows, seed, n_packets, zipf_alpha, seed + 1
         )
     w = simulate_wildcard_cache(policy, LAYOUT, sequence, size, engine=engine)
+    c = simulate_wildcard_cache(
+        policy, LAYOUT, sequence, size, engine=engine, eviction="cost"
+    )
     m = simulate_microflow_cache(policy, LAYOUT, sequence, size, engine=engine)
-    return w.miss_rate, m.miss_rate, w.installs, m.installs
+    return w.miss_rate, c.miss_rate, m.miss_rate, w.installs, c.installs, m.installs
 
 
 def run_cache_miss(
@@ -110,27 +113,36 @@ def run_cache_miss(
     wildcard = Series(
         "DIFANE wildcard cache", x_label="cache size (entries)", y_label="miss rate"
     )
+    cost = Series(
+        "cost-aware wildcard cache", x_label="cache size (entries)",
+        y_label="miss rate",
+    )
     microflow = Series(
         "microflow cache", x_label="cache size (entries)", y_label="miss rate"
     )
     rows = []
-    for size, (w_miss, m_miss, w_installs, m_installs) in zip(cache_sizes, results):
+    for size, point in zip(cache_sizes, results):
+        w_miss, c_miss, m_miss, w_installs, c_installs, m_installs = point
         wildcard.append(size, w_miss)
+        cost.append(size, c_miss)
         microflow.append(size, m_miss)
         rows.append([
             size,
             f"{w_miss:.4f}",
+            f"{c_miss:.4f}",
             f"{m_miss:.4f}",
             w_installs,
+            c_installs,
             m_installs,
         ])
 
     return ExperimentResult(
         name="E7-cache-miss",
         title="Cache miss rate vs cache size (Zipf traffic)",
-        series=[wildcard, microflow],
-        table_headers=["cache size", "wildcard miss", "microflow miss",
-                       "wildcard installs", "microflow installs"],
+        series=[wildcard, cost, microflow],
+        table_headers=["cache size", "wildcard miss", "cost miss",
+                       "microflow miss", "wildcard installs", "cost installs",
+                       "microflow installs"],
         table_rows=rows,
         notes={
             "policy_size": policy_size,

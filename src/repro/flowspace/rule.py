@@ -151,6 +151,7 @@ class Rule:
         "last_hit_at",
         "idle_timeout",
         "hard_timeout",
+        "refetch_penalty_s",
     )
 
     def __init__(
@@ -184,6 +185,10 @@ class Rule:
         self.last_hit_at: Optional[float] = None
         self.idle_timeout = idle_timeout
         self.hard_timeout = hard_timeout
+        #: Measured cost of re-fetching this rule after eviction (redirect
+        #: RTT to the owning authority switch, seconds); stamped by the
+        #: authority on cache installs, consumed by cost-aware eviction.
+        self.refetch_penalty_s: Optional[float] = None
 
     # -- derivation --------------------------------------------------------------
     def root_origin(self) -> "Rule":

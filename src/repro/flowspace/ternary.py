@@ -58,6 +58,12 @@ class Ternary:
     def __setattr__(self, name, value):  # pragma: no cover - defensive
         raise AttributeError("Ternary is immutable")
 
+    def __reduce__(self):
+        # The immutability guard breaks pickle's default slot restoration
+        # (it setattrs each slot); rebuild through the constructor instead.
+        # Rules cross pickle boundaries in sharded / multi-process runs.
+        return (Ternary, (self.value, self.mask, self.width))
+
     # -- constructors ------------------------------------------------------
     @classmethod
     def wildcard(cls, width: int) -> "Ternary":

@@ -9,20 +9,40 @@ policies the evaluation exercises:
 * **LRU** — evict the least recently hit cache rule (the paper's default);
 * **FIFO** — evict the oldest install (ablation);
 * **RANDOM** — evict uniformly at random (ablation baseline);
+* **COST** — flow-driven cost-aware eviction (FDRC-style): the victim is
+  the entry with the lowest predicted re-fetch cost, a GreedyDual-style
+  score combining a deterministic EWMA of the entry's hit rate, the
+  headerspace coverage of the cached fragment, and the measured redirect
+  penalty to the owning authority switch;
 * idle / hard **timeouts** — the mechanism host-mobility handling relies
   on (§4 of the paper): stale cache rules age out.
+
+The manager's bookkeeping is index-backed: an exact occupancy counter, a
+``(match, actions)``-keyed duplicate map, and a lazy-stale min-heap keyed
+per policy replace the per-install linear scans of the original
+implementation.  :class:`ScanCacheManager` keeps those scans alive as the
+equivalence oracle for property tests.  The indexes stay exact even when
+callers mutate the TCAM directly (``evict_if``/``clear``) because they are
+maintained from the TCAM's observer hooks, not from the manager's own
+call sites.
 """
 
 from __future__ import annotations
 
+import heapq
+import math
 import random
 from enum import Enum
-from typing import List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.flowspace.rule import Rule, RuleKind
 from repro.switch.tcam import Tcam
 
-__all__ = ["EvictionPolicy", "CacheManager"]
+__all__ = ["EvictionPolicy", "CacheManager", "ScanCacheManager"]
+
+#: EWMA step for the manager-level re-fetch penalty estimate (used for
+#: entries installed without a per-rule penalty stamp).
+_PENALTY_ALPHA = 0.25
 
 
 class EvictionPolicy(Enum):
@@ -31,6 +51,30 @@ class EvictionPolicy(Enum):
     LRU = "lru"
     FIFO = "fifo"
     RANDOM = "random"
+    COST = "cost"
+
+
+class _Entry:
+    """Per-cached-rule index record.
+
+    ``order_key`` mirrors the rule table's ``(-priority, insertion seq)``
+    iteration order so heap ties resolve exactly like the scan oracle's
+    first-minimal ``min()``.  COST state (EWMA ``rate``, cached ``score``,
+    headerspace ``coverage``) lives here so both the indexed manager and
+    the scan oracle read identical numbers.
+    """
+
+    __slots__ = ("rule", "order_key", "alive", "rate", "last_obs", "score",
+                 "coverage")
+
+    def __init__(self, rule: Rule, order_key: Tuple[int, int]):
+        self.rule = rule
+        self.order_key = order_key
+        self.alive = True
+        self.rate = 0.0
+        self.last_obs: Optional[float] = None
+        self.score = 0.0
+        self.coverage = 0.0
 
 
 class CacheManager:
@@ -49,6 +93,16 @@ class CacheManager:
     default_idle_timeout / default_hard_timeout:
         Timeouts stamped onto installed cache rules (seconds; ``None``
         disables).
+    cost_tau:
+        COST policy: EWMA time constant (seconds) of the per-entry hit
+        rate; hits decay by ``exp(-dt/tau)``.
+    cost_base_penalty:
+        COST policy: the re-fetch penalty (seconds) that normalizes the
+        score to 1.0 per expected hit when no measured penalty exists.
+    cost_coverage_weight:
+        COST policy: weight of the fragment's headerspace coverage term
+        (a fully wildcarded fragment scores ``1 + weight`` times an
+        exact-match one at equal rate and penalty).
     """
 
     def __init__(
@@ -59,6 +113,9 @@ class CacheManager:
         default_idle_timeout: Optional[float] = None,
         default_hard_timeout: Optional[float] = None,
         seed: int = 0,
+        cost_tau: float = 1.0,
+        cost_base_penalty: float = 1e-3,
+        cost_coverage_weight: float = 1.0,
     ):
         if capacity < 0:
             raise ValueError(f"cache capacity must be non-negative, got {capacity}")
@@ -69,7 +126,34 @@ class CacheManager:
         self.default_hard_timeout = default_hard_timeout
         self._rng = random.Random(seed)
         self.inserted = 0
-        self.evicted = 0
+        #: Churn attribution split: capacity/policy evictions vs timeout
+        #: expirations vs policy-change invalidations.  The legacy
+        #: ``evicted`` total is the :attr:`evicted` property (their sum).
+        self.evicted_capacity = 0
+        self.expired = 0
+        self.invalidated = 0
+        self.cost_tau = float(cost_tau)
+        self.cost_base_penalty = float(cost_base_penalty)
+        self.cost_coverage_weight = float(cost_coverage_weight)
+        #: Running estimate of the redirect penalty, fed by the
+        #: ``refetch_penalty_s`` stamps on installed rules.
+        self.refetch_penalty_ewma: Optional[float] = None
+        # GreedyDual inflation clock: raised to the victim's score on every
+        # capacity eviction, so long-resident entries age without rescans.
+        self._cost_clock = 0.0
+        # -- indexes (maintained from the TCAM's observer hooks) --
+        self._entries: Dict[int, _Entry] = {}
+        self._by_key: Dict[tuple, Rule] = {}
+        self._occupancy = 0
+        self._heap: List[tuple] = []
+        self._push_seq = 0
+        self._install_seq = 0
+        for rule in tcam.rules(RuleKind.CACHE):
+            self._note_install(rule)
+        tcam.add_install_hook(self._note_install)
+        tcam.add_evict_hook(self._note_evict)
+        if policy is EvictionPolicy.COST:
+            tcam.add_hit_hook(self._note_hit)
 
     # -- installs ---------------------------------------------------------------
     def cache_rules(self) -> List[Rule]:
@@ -78,7 +162,20 @@ class CacheManager:
 
     def occupancy(self) -> int:
         """Number of cache rules installed."""
-        return len(self.cache_rules())
+        return self._occupancy
+
+    @property
+    def evicted(self) -> int:
+        """Total cache rules removed — the golden-compatible aggregate."""
+        return self.evicted_capacity + self.expired + self.invalidated
+
+    def eviction_breakdown(self) -> Dict[str, int]:
+        """The churn split: capacity evictions / expirations / invalidations."""
+        return {
+            "evicted": self.evicted_capacity,
+            "expired": self.expired,
+            "invalidated": self.invalidated,
+        }
 
     def install(self, rule: Rule, now: float) -> Optional[Rule]:
         """Install a cache rule, evicting per policy if needed.
@@ -96,36 +193,179 @@ class CacheManager:
         existing = self._find_duplicate(rule)
         if existing is not None:
             existing.last_hit_at = now
+            if self.policy is EvictionPolicy.COST:
+                entry = self._entries.get(id(existing))
+                if entry is not None:
+                    self._observe(entry, 1, now)
             return existing
         while self.occupancy() >= self.capacity:
-            victim = self._select_victim()
+            victim = self._select_victim(now)
             if victim is None:
                 return None
-            self.tcam.evict(victim)
-            self.evicted += 1
+            self._evict_victim(victim)
         if rule.idle_timeout is None:
             rule.idle_timeout = self.default_idle_timeout
         if rule.hard_timeout is None:
             rule.hard_timeout = self.default_hard_timeout
+        self._note_penalty(rule)
         self.tcam.install(rule, now=now)
         self.inserted += 1
         return rule
 
+    def set_capacity(self, capacity: int, now: float = 0.0) -> List[Rule]:
+        """Retarget the cache budget, evicting down per policy if shrinking.
+
+        This is the controller's budget-partitioning hook: per-switch
+        budgets computed from offered load land here.  Returns the rules
+        evicted to fit the new budget (counted as capacity evictions).
+        """
+        if capacity < 0:
+            raise ValueError(f"cache capacity must be non-negative, got {capacity}")
+        self.capacity = capacity
+        evicted: List[Rule] = []
+        while self.occupancy() > self.capacity:
+            victim = self._select_victim(now)
+            if victim is None:
+                break
+            self._evict_victim(victim)
+            evicted.append(victim)
+        return evicted
+
+    def _evict_victim(self, victim: Rule) -> None:
+        if self.policy is EvictionPolicy.COST:
+            entry = self._entries.get(id(victim))
+            if entry is not None:
+                self._cost_clock = max(self._cost_clock, entry.score)
+        self.tcam.evict(victim)
+        self.evicted_capacity += 1
+
     def _find_duplicate(self, rule: Rule) -> Optional[Rule]:
-        for existing in self.cache_rules():
-            if existing.match == rule.match and existing.actions == rule.actions:
-                return existing
+        return self._by_key.get((rule.match, rule.actions))
+
+    def _select_victim(self, now: Optional[float] = None) -> Optional[Rule]:
+        if self.policy is EvictionPolicy.RANDOM:
+            candidates = self.cache_rules()
+            if not candidates:
+                return None
+            return self._rng.choice(candidates)
+        if self._occupancy == 0:
+            return None
+        heap = self._heap
+        cost = self.policy is EvictionPolicy.COST
+        while heap:
+            key, order_key, _seq, entry = heapq.heappop(heap)
+            if not entry.alive:
+                continue
+            current = entry.score if cost else self._sort_key(entry)
+            if key != current:
+                # Stale tuple.  LRU/FIFO keys move without a push (hits
+                # mutate last_hit_at directly), so requeue at the current
+                # key; COST pushes on every score change, so a fresh tuple
+                # already exists and the stale one just drops.
+                if not cost:
+                    self._push(entry, current)
+                continue
+            # Keep the heap covering every alive entry even if the caller
+            # decides not to evict the returned victim.
+            self._push(entry, current)
+            return entry.rule
         return None
 
-    def _select_victim(self) -> Optional[Rule]:
-        candidates = self.cache_rules()
-        if not candidates:
-            return None
-        if self.policy is EvictionPolicy.LRU:
-            return min(candidates, key=_last_activity)
+    # -- index maintenance (TCAM observer hooks) --------------------------------
+    def _note_install(self, rule: Rule) -> None:
+        if rule.kind is not RuleKind.CACHE:
+            return
+        order_key = (-rule.priority, self._install_seq)
+        self._install_seq += 1
+        entry = _Entry(rule, order_key)
+        self._entries[id(rule)] = entry
+        self._by_key[(rule.match, rule.actions)] = rule
+        self._occupancy += 1
+        if self.policy is EvictionPolicy.COST:
+            ternary = rule.match.ternary
+            if ternary.width:
+                entry.coverage = ternary.wildcard_bits() / ternary.width
+            entry.rate = 1.0 / self.cost_tau
+            entry.last_obs = rule.installed_at
+            self._rescore(entry)
+        elif self.policy is not EvictionPolicy.RANDOM:
+            self._push(entry, self._sort_key(entry))
+
+    def _note_evict(self, rule: Rule) -> None:
+        entry = self._entries.pop(id(rule), None)
+        if entry is None:
+            return
+        entry.alive = False
+        key = (rule.match, rule.actions)
+        if self._by_key.get(key) is rule:
+            del self._by_key[key]
+        self._occupancy -= 1
+
+    def _note_hit(self, rule: Rule, count: int, now: Optional[float]) -> None:
+        entry = self._entries.get(id(rule))
+        if entry is not None:
+            self._observe(entry, count, now)
+
+    def _note_penalty(self, rule: Rule) -> None:
+        penalty = rule.refetch_penalty_s
+        if penalty is None:
+            return
+        if self.refetch_penalty_ewma is None:
+            self.refetch_penalty_ewma = float(penalty)
+        else:
+            self.refetch_penalty_ewma += _PENALTY_ALPHA * (
+                penalty - self.refetch_penalty_ewma
+            )
+
+    # -- COST scoring -----------------------------------------------------------
+    def _observe(self, entry: _Entry, count: int, now: Optional[float]) -> None:
+        if now is not None:
+            if entry.last_obs is not None and now > entry.last_obs:
+                entry.rate *= math.exp((entry.last_obs - now) / self.cost_tau)
+            if entry.last_obs is None or now > entry.last_obs:
+                entry.last_obs = now
+        entry.rate += count / self.cost_tau
+        self._rescore(entry)
+
+    def _rescore(self, entry: _Entry) -> None:
+        entry.score = self._cost_clock + self._value(entry)
+        self._push(entry, entry.score)
+
+    def _value(self, entry: _Entry) -> float:
+        penalty = entry.rule.refetch_penalty_s
+        if penalty is None:
+            penalty = self.refetch_penalty_ewma
+        if penalty is None or penalty <= 0.0:
+            penalty = self.cost_base_penalty
+        return (
+            (entry.rate * self.cost_tau)
+            * (penalty / self.cost_base_penalty)
+            * (1.0 + self.cost_coverage_weight * entry.coverage)
+        )
+
+    # -- heap -------------------------------------------------------------------
+    def _sort_key(self, entry: _Entry) -> float:
         if self.policy is EvictionPolicy.FIFO:
-            return min(candidates, key=_install_time)
-        return self._rng.choice(candidates)
+            return _install_time(entry.rule)
+        return _last_activity(entry.rule)
+
+    def _push(self, entry: _Entry, key: float) -> None:
+        heapq.heappush(self._heap, (key, entry.order_key, self._push_seq, entry))
+        self._push_seq += 1
+        if len(self._heap) > max(64, 4 * self._occupancy):
+            self._compact()
+
+    def _compact(self) -> None:
+        cost = self.policy is EvictionPolicy.COST
+        heap = []
+        seq = 0
+        for entry in self._entries.values():
+            key = entry.score if cost else self._sort_key(entry)
+            heap.append((key, entry.order_key, seq, entry))
+            seq += 1
+        heapq.heapify(heap)
+        self._heap = heap
+        self._push_seq = seq
 
     # -- maintenance ----------------------------------------------------------------
     def expire(self, now: float) -> List[Rule]:
@@ -133,27 +373,76 @@ class CacheManager:
         expired = self.tcam.evict_if(
             lambda rule: rule.kind is RuleKind.CACHE and rule.is_expired(now)
         )
-        self.evicted += len(expired)
+        self.expired += len(expired)
         return expired
 
     def invalidate_origin(self, policy_rule: Rule) -> List[Rule]:
         """Evict every cache rule derived from ``policy_rule``.
 
         This is the policy-change path: when the controller updates a rule,
-        authority switches flush the cache entries it spawned.
+        authority switches flush the cache entries it spawned.  Matching is
+        by identity with a stable-id fallback so rules that crossed a
+        serialization or shard-migration boundary (same ``rule_id`` but a
+        different object) still invalidate.
         """
         flushed = self.tcam.evict_if(
             lambda rule: rule.kind is RuleKind.CACHE
-            and rule.root_origin() is policy_rule
+            and _derives_from(rule, policy_rule)
         )
-        self.evicted += len(flushed)
+        self.invalidated += len(flushed)
         return flushed
 
     def flush(self) -> List[Rule]:
         """Evict all cache rules (e.g. on ingress switch reset)."""
         flushed = self.tcam.evict_if(lambda rule: rule.kind is RuleKind.CACHE)
-        self.evicted += len(flushed)
+        self.invalidated += len(flushed)
         return flushed
+
+
+class ScanCacheManager(CacheManager):
+    """Reference oracle: the pre-index linear scans over shared state.
+
+    Overrides only the three scan points (occupancy, duplicate detection,
+    victim selection) with the original O(n) implementations; every piece
+    of state maintenance — counters, COST scores, penalty EWMA — is
+    inherited, so property tests can drive an indexed manager and a scan
+    manager through identical operation sequences and require the same
+    victims, survivors, and counters byte-for-byte.
+    """
+
+    def occupancy(self) -> int:
+        return len(self.cache_rules())
+
+    def _find_duplicate(self, rule: Rule) -> Optional[Rule]:
+        for existing in self.cache_rules():
+            if existing.match == rule.match and existing.actions == rule.actions:
+                return existing
+        return None
+
+    def _select_victim(self, now: Optional[float] = None) -> Optional[Rule]:
+        candidates = self.cache_rules()
+        if not candidates:
+            return None
+        if self.policy is EvictionPolicy.LRU:
+            return min(candidates, key=_last_activity)
+        if self.policy is EvictionPolicy.FIFO:
+            return min(candidates, key=_install_time)
+        if self.policy is EvictionPolicy.COST:
+            entries = self._entries
+            return min(candidates, key=lambda rule: entries[id(rule)].score)
+        return self._rng.choice(candidates)
+
+
+def _derives_from(rule: Rule, policy_rule: Rule) -> bool:
+    root = rule.root_origin()
+    if root is policy_rule:
+        return True
+    return (
+        root.rule_id == policy_rule.rule_id
+        and root.kind is policy_rule.kind
+        and root.priority == policy_rule.priority
+        and root.match == policy_rule.match
+    )
 
 
 def _last_activity(rule: Rule) -> float:

@@ -68,6 +68,28 @@ class Tcam:
         # Compiled vector matcher, rebuilt lazily when the table mutates.
         self._matcher: Optional[VectorMatcher] = None
         self._matcher_version = -1
+        # Observer hooks: every mutation and hit is visible to subscribers
+        # (the indexed CacheManager keeps its occupancy counter, duplicate
+        # map and eviction heap exact even when callers mutate the table
+        # directly via evict_if/clear, bypassing the manager).
+        self._install_hooks: List[Callable[[Rule], None]] = []
+        self._evict_hooks: List[Callable[[Rule], None]] = []
+        self._hit_hooks: List[Callable[[Rule, int, Optional[float]], None]] = []
+
+    # -- observers ------------------------------------------------------------
+    def add_install_hook(self, hook: Callable[[Rule], None]) -> None:
+        """Call ``hook(rule)`` after every install."""
+        self._install_hooks.append(hook)
+
+    def add_evict_hook(self, hook: Callable[[Rule], None]) -> None:
+        """Call ``hook(rule)`` after every removal (evict/evict_if/clear)."""
+        self._evict_hooks.append(hook)
+
+    def add_hit_hook(
+        self, hook: Callable[[Rule, int, Optional[float]], None]
+    ) -> None:
+        """Call ``hook(rule, count, now)`` when a rule wins lookups."""
+        self._hit_hooks.append(hook)
 
     # -- capacity -------------------------------------------------------------
     @property
@@ -111,6 +133,8 @@ class Tcam:
         self.table.add(rule)
         self.installs += 1
         self.high_water = max(self.high_water, self.occupancy)
+        for hook in self._install_hooks:
+            hook(rule)
         return rule
 
     def evict(self, rule: Rule) -> bool:
@@ -118,12 +142,17 @@ class Tcam:
         removed = self.table.remove(rule)
         if removed:
             self.evictions += 1
+            for hook in self._evict_hooks:
+                hook(rule)
         return removed
 
     def evict_if(self, predicate: Callable[[Rule], bool]) -> List[Rule]:
         """Remove and return all rules matching ``predicate``."""
         removed = self.table.remove_if(predicate)
         self.evictions += len(removed)
+        for rule in removed:
+            for hook in self._evict_hooks:
+                hook(rule)
         return removed
 
     def evict_expired(self, now: float) -> List[Rule]:
@@ -132,8 +161,12 @@ class Tcam:
 
     def clear(self) -> None:
         """Drop every entry (counters keep accumulating)."""
+        dropped = list(self.table.rules) if self._evict_hooks else []
         self.evictions += len(self.table)
         self.table.clear()
+        for rule in dropped:
+            for hook in self._evict_hooks:
+                hook(rule)
 
     # -- lookup ---------------------------------------------------------------------
     def lookup(self, packet: Packet, now: Optional[float] = None) -> Optional[Rule]:
@@ -143,6 +176,9 @@ class Tcam:
         if winner is not None:
             self.hits += 1
             winner.record_hit(packet, now)
+            if self._hit_hooks:
+                for hook in self._hit_hooks:
+                    hook(winner, 1, now)
         return winner
 
     def lookup_batch(
@@ -155,6 +191,9 @@ class Tcam:
             if winner is not None:
                 self.hits += 1
                 winner.record_hit(packet, now)
+                if self._hit_hooks:
+                    for hook in self._hit_hooks:
+                        hook(winner, 1, now)
         return winners
 
     def match_batch(
@@ -203,10 +242,14 @@ class Tcam:
             for index in np.unique(winners[matched]).tolist():
                 selected = winners == index
                 rule = rules[index]
-                rule.packet_count += int(selected.sum())
+                count = int(selected.sum())
+                rule.packet_count += count
                 rule.byte_count += int(sizes[selected].sum())
                 if now is not None:
                     rule.last_hit_at = now
+                if self._hit_hooks:
+                    for hook in self._hit_hooks:
+                        hook(rule, count, now)
         return winners, rules
 
     def peek(self, packet: Packet) -> Optional[Rule]:

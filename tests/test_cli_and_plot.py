@@ -59,5 +59,6 @@ class TestCli:
 
     def test_registry_covers_all_ten(self):
         assert set(EXPERIMENTS) == (
-            {f"E{i}" for i in range(1, 11)} | {"C1", "C2", "C2-STATIC", "M1"}
+            {f"E{i}" for i in range(1, 11)}
+            | {"E8C", "C1", "C2", "C2-STATIC", "M1"}
         )

@@ -1,0 +1,485 @@
+"""Cost-aware cache management: indexed-vs-scan equivalence and policy tests.
+
+The PR-9 cache core replaces three per-install linear scans with indexes
+(occupancy counter, duplicate map, lazy-stale min-heap).  The contract is
+*byte-equivalence*: an indexed :class:`CacheManager` and the scan-backed
+:class:`ScanCacheManager` oracle driven through an identical operation
+sequence must agree on every victim, survivor, timestamp, and counter.
+That contract is property-tested here across all four eviction policies,
+alongside the behavioural tests for the COST policy itself, install
+batching, and controller budget partitioning.
+"""
+
+import pickle
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.flowspace import (
+    Drop,
+    Forward,
+    Match,
+    Packet,
+    Rule,
+    TWO_FIELD_LAYOUT,
+)
+from repro.flowspace.rule import RuleKind
+from repro.switch import Tcam
+from repro.switch.cache import CacheManager, EvictionPolicy, ScanCacheManager
+
+L = TWO_FIELD_LAYOUT
+
+POLICIES = [
+    EvictionPolicy.LRU,
+    EvictionPolicy.FIFO,
+    EvictionPolicy.RANDOM,
+    EvictionPolicy.COST,
+]
+
+
+def cache_rule(f1, priority=5, port="x", origin=None, penalty=None):
+    rule = Rule(
+        Match.build(L, f1=f1), priority, Forward(port),
+        kind=RuleKind.CACHE, origin=origin,
+    )
+    if penalty is not None:
+        rule.refetch_penalty_s = penalty
+    return rule
+
+
+def manager(cls=CacheManager, capacity=3, policy=EvictionPolicy.LRU, **kwargs):
+    return cls(Tcam(L), capacity=capacity, policy=policy, **kwargs)
+
+
+# ---------------------------------------------------------------------------
+# Property: indexed manager == scan oracle, byte for byte
+# ---------------------------------------------------------------------------
+
+op_install = st.tuples(
+    st.just("install"),
+    st.integers(min_value=0, max_value=5),        # f1 (small: forces dups)
+    st.integers(min_value=1, max_value=3),        # priority (heap ties)
+    st.sampled_from(["x", "y"]),                  # action (dup key part)
+    st.sampled_from([None, 1e-3, 2e-2]),          # refetch penalty stamp
+    st.integers(min_value=0, max_value=2),        # origin index
+)
+op_hit = st.tuples(st.just("hit"), st.integers(min_value=0, max_value=5))
+op_expire = st.tuples(st.just("expire"))
+op_flush = st.tuples(st.just("flush"))
+op_capacity = st.tuples(st.just("capacity"), st.integers(min_value=0, max_value=4))
+op_invalidate = st.tuples(st.just("invalidate"), st.integers(min_value=0, max_value=2))
+
+ops_lists = st.lists(
+    st.one_of(op_install, op_hit, op_expire, op_flush, op_capacity, op_invalidate),
+    min_size=1,
+    max_size=40,
+)
+
+
+def apply_ops(cls, policy, ops, origins):
+    m = manager(
+        cls, capacity=3, policy=policy, seed=7,
+        default_idle_timeout=6.0, cost_tau=4.0,
+    )
+    clock = 0.0
+    for op in ops:
+        clock += 1.0
+        kind = op[0]
+        if kind == "install":
+            _, f1, priority, port, penalty, origin_idx = op
+            m.install(
+                cache_rule(f1, priority, port, origin=origins[origin_idx],
+                           penalty=penalty),
+                now=clock,
+            )
+        elif kind == "hit":
+            m.tcam.lookup(Packet.from_fields(L, f1=op[1]), now=clock)
+        elif kind == "expire":
+            m.expire(now=clock)
+        elif kind == "flush":
+            m.flush()
+        elif kind == "capacity":
+            m.set_capacity(op[1], now=clock)
+        elif kind == "invalidate":
+            m.invalidate_origin(origins[op[1]])
+    return m
+
+
+def fingerprint(m):
+    rules = m.cache_rules()
+    scores = None
+    if m.policy is EvictionPolicy.COST:
+        scores = [m._entries[id(rule)].score for rule in rules]
+    return (
+        [
+            (str(rule.match), str(rule.actions), rule.priority,
+             rule.installed_at, rule.last_hit_at, rule.idle_timeout,
+             rule.hard_timeout, rule.refetch_penalty_s)
+            for rule in rules
+        ],
+        scores,
+        m.occupancy(),
+        m.capacity,
+        m.inserted,
+        m.evicted_capacity,
+        m.expired,
+        m.invalidated,
+        m.evicted,
+        m.refetch_penalty_ewma,
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops=ops_lists, policy=st.sampled_from(POLICIES))
+def test_prop_indexed_matches_scan_oracle(ops, policy):
+    """Identical op sequences → identical state, victims, and counters."""
+    origins = [Rule(Match.any(L), 9, Forward(f"o{i}")) for i in range(3)]
+    indexed = apply_ops(CacheManager, policy, ops, origins)
+    oracle = apply_ops(ScanCacheManager, policy, ops, origins)
+    assert fingerprint(indexed) == fingerprint(oracle)
+
+
+def test_indexed_survives_external_tcam_mutation():
+    """evict_if/clear on the TCAM keep the indexes exact (observer hooks)."""
+    m = manager(capacity=4)
+    installed = [m.install(cache_rule(i), now=float(i)) for i in range(4)]
+    m.tcam.evict_if(lambda rule: rule.match.field("f1").value in (0, 2))
+    assert m.occupancy() == 2
+    assert m._find_duplicate(cache_rule(0)) is None
+    assert m._find_duplicate(cache_rule(1)) is installed[1]
+    m.tcam.clear()
+    assert m.occupancy() == 0
+    assert m.install(cache_rule(0), now=9.0) is not None
+    assert m.occupancy() == 1
+
+
+# ---------------------------------------------------------------------------
+# Duplicate installs refresh instead of consuming capacity
+# ---------------------------------------------------------------------------
+
+class TestDuplicateRefresh:
+    @pytest.mark.parametrize(
+        "policy", [EvictionPolicy.LRU, EvictionPolicy.COST], ids=["lru", "cost"]
+    )
+    def test_refreshes_activity_not_install_time(self, policy):
+        m = manager(capacity=1, policy=policy, default_hard_timeout=60.0)
+        first = m.install(cache_rule(1), now=0.0)
+        again = m.install(cache_rule(1), now=5.0)
+        assert again is first
+        assert first.last_hit_at == 5.0
+        assert first.installed_at == 0.0          # hard-timeout base untouched
+        assert first.hard_timeout == 60.0
+        assert m.occupancy() == 1                 # no capacity consumed
+        assert m.inserted == 1
+        assert m.evicted == 0                     # and no one was sacrificed
+
+    def test_cost_duplicate_raises_score(self):
+        m = manager(capacity=2, policy=EvictionPolicy.COST)
+        rule = m.install(cache_rule(1), now=0.0)
+        before = m._entries[id(rule)].score
+        m.install(cache_rule(1), now=0.5)
+        assert m._entries[id(rule)].score > before
+
+
+# ---------------------------------------------------------------------------
+# COST policy behaviour
+# ---------------------------------------------------------------------------
+
+class TestCostPolicy:
+    def test_evicts_the_cold_entry(self):
+        m = manager(capacity=2, policy=EvictionPolicy.COST, cost_tau=10.0)
+        hot = m.install(cache_rule(1), now=0.0)
+        m.install(cache_rule(2), now=0.0)
+        for t in range(1, 6):
+            m.tcam.lookup(Packet.from_fields(L, f1=1), now=float(t))
+        m.install(cache_rule(3), now=6.0)
+        remaining = {r.match.field("f1").value for r in m.cache_rules()}
+        assert 1 in remaining and 2 not in remaining
+
+    def test_expensive_refetch_outweighs_recency(self):
+        """A pricier-to-refetch entry survives a same-rate cheap one."""
+        m = manager(capacity=2, policy=EvictionPolicy.COST, cost_tau=10.0)
+        m.install(cache_rule(1, penalty=1e-3), now=0.0)   # cheap re-fetch
+        m.install(cache_rule(2, penalty=5e-2), now=0.0)   # 50x pricier
+        m.install(cache_rule(3), now=1.0)
+        remaining = {r.match.field("f1").value for r in m.cache_rules()}
+        assert 2 in remaining and 1 not in remaining
+
+    def test_clock_inflation_ages_residents(self):
+        """GreedyDual: entries installed after an eviction outrank dead-cold
+        residents installed before it, even at equal hit rates."""
+        m = manager(capacity=1, policy=EvictionPolicy.COST)
+        m.install(cache_rule(1), now=0.0)
+        m.install(cache_rule(2), now=1.0)   # evicts 1, raises the clock
+        assert m._cost_clock > 0.0
+        entry = m._entries[id(m.cache_rules()[0])]
+        assert entry.score > m._cost_clock or entry.score == pytest.approx(
+            m._cost_clock + m._value(entry)
+        )
+
+    def test_penalty_ewma_tracks_stamps(self):
+        m = manager(capacity=4, policy=EvictionPolicy.COST)
+        m.install(cache_rule(1, penalty=0.01), now=0.0)
+        assert m.refetch_penalty_ewma == pytest.approx(0.01)
+        m.install(cache_rule(2, penalty=0.05), now=1.0)
+        assert 0.01 < m.refetch_penalty_ewma < 0.05
+
+
+# ---------------------------------------------------------------------------
+# Eviction-counter split + set_capacity
+# ---------------------------------------------------------------------------
+
+class TestCounterSplit:
+    def test_split_and_aggregate(self):
+        origin = Rule(Match.any(L), 9, Forward("o"))
+        m = manager(capacity=2, default_idle_timeout=1.0)
+        m.install(cache_rule(1), now=0.0)
+        m.install(cache_rule(2), now=0.0)
+        m.install(cache_rule(3), now=0.1)      # capacity eviction
+        m.expire(now=50.0)                     # everything idles out
+        m.install(cache_rule(4, origin=origin), now=50.0)
+        m.invalidate_origin(origin)            # policy-change invalidation
+        m.install(cache_rule(5), now=51.0)
+        m.flush()                              # flush counts as invalidation
+        assert m.evicted_capacity == 1
+        assert m.expired == 2
+        assert m.invalidated == 2
+        assert m.evicted == 5                  # golden-compatible aggregate
+        assert m.eviction_breakdown() == {
+            "evicted": 1, "expired": 2, "invalidated": 2,
+        }
+
+    def test_set_capacity_shrink_evicts_per_policy(self):
+        m = manager(capacity=4, policy=EvictionPolicy.LRU)
+        rules = [m.install(cache_rule(i), now=float(i)) for i in range(4)]
+        evicted = m.set_capacity(2, now=10.0)
+        assert [r.match.field("f1").value for r in evicted] == [0, 1]
+        assert m.occupancy() == 2
+        assert m.capacity == 2
+        assert m.evicted_capacity == 2
+        assert m.install(cache_rule(9), now=11.0) is not None  # still bounded
+        assert m.occupancy() == 2
+
+    def test_set_capacity_grow_is_free(self):
+        m = manager(capacity=1)
+        m.install(cache_rule(1), now=0.0)
+        assert m.set_capacity(8) == []
+        assert m.occupancy() == 1
+        assert m.evicted == 0
+
+    def test_set_capacity_rejects_negative(self):
+        with pytest.raises(ValueError):
+            manager().set_capacity(-1)
+
+
+# ---------------------------------------------------------------------------
+# Stable-id invalidation across serialization boundaries
+# ---------------------------------------------------------------------------
+
+class TestStableIdInvalidation:
+    def test_pickled_policy_rule_still_invalidates(self):
+        """A policy rule that crossed a pickle boundary (shard migration,
+        control-channel serialization) is a different object with the same
+        rule_id — invalidation must still find its cache offspring."""
+        origin = Rule(Match.build(L, f1="0000xxxx"), 9, Forward("o"))
+        other = Rule(Match.build(L, f2="0000xxxx"), 8, Forward("p"))
+        m = manager(capacity=4)
+        m.install(cache_rule(1, origin=origin), now=0.0)
+        m.install(cache_rule(2, origin=origin), now=0.0)
+        m.install(cache_rule(3, origin=other), now=0.0)
+        copy = pickle.loads(pickle.dumps(origin))
+        assert copy is not origin
+        flushed = m.invalidate_origin(copy)
+        assert len(flushed) == 2
+        assert m.occupancy() == 1
+        assert m.invalidated == 2
+
+    def test_same_id_different_rule_does_not_invalidate(self):
+        """The fallback is guarded: matching rule_id alone is not enough."""
+        origin = Rule(Match.build(L, f1="0000xxxx"), 9, Forward("o"))
+        impostor = pickle.loads(pickle.dumps(origin))
+        impostor.priority = 1                   # same id, different rule
+        m = manager(capacity=4)
+        m.install(cache_rule(1, origin=origin), now=0.0)
+        assert m.invalidate_origin(impostor) == []
+        assert m.occupancy() == 1
+
+
+# ---------------------------------------------------------------------------
+# Dependency-aware install batching (authority side)
+# ---------------------------------------------------------------------------
+
+def _chain_policy():
+    def rule(priority, action, **fields):
+        return Rule(Match.build(L, **fields), priority, action)
+
+    return [
+        rule(30, Drop(), f1="0000xxxx", f2="0000xxxx"),
+        rule(20, Forward("a"), f1="0000xxxx"),
+        rule(10, Forward("b"), f2="0000xxxx"),
+        rule(0, Forward("c")),
+    ]
+
+
+class TestInstallBatching:
+    def _network(self, prefetch):
+        from repro.core import DifaneNetwork
+        from repro.net import TopologyBuilder
+
+        topo = TopologyBuilder.linear(2, hosts_per_switch=1)
+        return DifaneNetwork.build(
+            topo, _chain_policy(), L,
+            authority_switches=["s1"], cache_capacity=64,
+            redirect_rate=None, prefetch_fragments=prefetch,
+        )
+
+    def test_sibling_fragments_travel_in_one_message(self):
+        dn = self._network(prefetch=4)
+        authority = dn.switch("s1")
+        ingress = dn.switch("s0")
+        bits = L.pack_values(f1=200, f2=200)   # won by the default rule
+        winner = authority.pipeline.authority.table.lookup_bits(bits)
+        assert winner is not None
+        fragments = authority._cache_rules_for(winner, bits)
+        assert len(fragments) > 1              # the default rule shatters
+        authority._send_cache_install("s0", winner, bits)
+        dn.run()
+        # One flow miss, k sibling fragments: k installs counted on both
+        # ends, but only ONE batched message crossed the network.
+        k = len(fragments)
+        assert authority.cache_installs_sent == k
+        assert authority.cache_install_batches_sent == 1
+        assert ingress.cache_installs_received == k
+        assert ingress.cache.occupancy() == k
+        # Every fragment carries the measured re-fetch penalty stamp.
+        for rule in ingress.cache.cache_rules():
+            assert rule.refetch_penalty_s is not None
+            assert rule.refetch_penalty_s > 0.0
+
+    def test_single_fragment_keeps_legacy_message(self):
+        dn = self._network(prefetch=1)
+        authority = dn.switch("s1")
+        bits = L.pack_values(f1=200, f2=200)
+        winner = authority.pipeline.authority.table.lookup_bits(bits)
+        authority._send_cache_install("s0", winner, bits)
+        dn.run()
+        assert authority.cache_installs_sent == 1
+        assert authority.cache_install_batches_sent == 0
+        assert dn.switch("s0").cache.occupancy() == 1
+
+
+# ---------------------------------------------------------------------------
+# Controller budget partitioning
+# ---------------------------------------------------------------------------
+
+class TestBudgetPartitioning:
+    def _network(self):
+        from repro.core import DifaneNetwork
+        from repro.net import TopologyBuilder
+        from repro.flowspace import FIVE_TUPLE_LAYOUT
+        from repro.workloads.policies import routing_policy_for_topology
+
+        topo = TopologyBuilder.linear(4, hosts_per_switch=1)
+        rules, _ = routing_policy_for_topology(topo, FIVE_TUPLE_LAYOUT)
+        return DifaneNetwork.build(
+            topo, rules, FIVE_TUPLE_LAYOUT,
+            authority_switches=["s1", "s2"], cache_capacity=8,
+            redirect_rate=None,
+        )
+
+    def test_budgets_follow_load_with_floor(self):
+        dn = self._network()
+        dn.switch("s0").cache_hits = 90
+        dn.switch("s1").cache_hits = 10
+        budgets = dn.controller.partition_cache_budgets(total_budget=32)
+        assert sum(budgets.values()) == 32
+        assert set(budgets) == {"s0", "s1", "s2", "s3"}
+        assert all(b >= 1 for b in budgets.values())     # per-switch floor
+        assert budgets["s0"] > budgets["s1"] > budgets["s3"]
+        # Applied, not just computed:
+        for name, budget in budgets.items():
+            assert dn.switch(name).cache.capacity == budget
+        assert dn.controller.cache_budget_updates == 1
+
+    def test_deterministic_and_conserving(self):
+        dn = self._network()
+        dn.switch("s0").cache_hits = 7
+        dn.switch("s2").redirects_out = 7                # tie with s0
+        first = dn.controller.partition_cache_budgets(total_budget=9)
+        second = dn.controller.partition_cache_budgets(total_budget=9)
+        assert first == second                           # name-ordered ties
+        assert sum(first.values()) == 9
+
+    def test_default_budget_is_a_reshuffle(self):
+        dn = self._network()
+        before = sum(dn.switch(n).cache.capacity
+                     for n in dn.network.topology.switches())
+        budgets = dn.controller.partition_cache_budgets()
+        assert sum(budgets.values()) == before
+
+    def test_shrinking_switch_evicts_down(self):
+        dn = self._network()
+        victim = dn.switch("s3")
+        for i in range(8):
+            victim.cache.install(
+                Rule(Match.build(victim.layout, nw_proto=i), 5, Forward("x"),
+                     kind=RuleKind.CACHE),
+                now=0.0,
+            )
+        dn.switch("s0").cache_hits = 100
+        budgets = dn.controller.partition_cache_budgets(total_budget=12)
+        assert budgets["s3"] < 8
+        assert victim.cache.occupancy() == budgets["s3"]
+        assert victim.cache.evicted_capacity == 8 - budgets["s3"]
+
+
+# ---------------------------------------------------------------------------
+# Telemetry exposure (COST-gated probe keys)
+# ---------------------------------------------------------------------------
+
+class TestTelemetryExposure:
+    def _switch(self, policy):
+        from repro.core.authority import DifaneSwitch
+
+        return DifaneSwitch("s", L, cache_capacity=4, eviction=policy)
+
+    def test_cost_probe_exports_churn_split(self):
+        switch = self._switch(EvictionPolicy.COST)
+        samples = switch._telemetry_probe()
+        assert "difane_cache_expirations{switch=s}" in samples
+        assert "difane_cache_invalidations{switch=s}" in samples
+        assert "difane_cache_refetch_penalty_s{switch=s}" in samples
+
+    def test_default_probe_unchanged(self):
+        """Golden safety: LRU runs export exactly the legacy probe keys."""
+        switch = self._switch(EvictionPolicy.LRU)
+        assert sorted(switch._telemetry_probe()) == [
+            "difane_cache_evictions{switch=s}",
+            "difane_cache_occupancy{switch=s}",
+        ]
+
+
+# ---------------------------------------------------------------------------
+# E8 ablation smoke: the headline claim
+# ---------------------------------------------------------------------------
+
+class TestCachingAblation:
+    def test_cost_beats_lru_under_flash_crowd(self):
+        from repro.experiments.cachingablation import run_caching_ablation
+
+        result = run_caching_ablation(
+            workloads=["flash-crowd"], policies=["lru", "cost"],
+            capacities=(16,),
+        )
+        delta = result.notes["cost_minus_lru_miss_rate"]["flash-crowd"]["16"]
+        assert delta > 0, f"COST did not beat LRU: delta={delta}"
+        labels = {series.label for series in result.series}
+        assert labels == {"flash-crowd/lru", "flash-crowd/cost"}
+
+    def test_unknown_names_rejected(self):
+        from repro.experiments.cachingablation import run_caching_ablation
+
+        with pytest.raises(ValueError):
+            run_caching_ablation(workloads=["nope"])
+        with pytest.raises(ValueError):
+            run_caching_ablation(policies=["mru"])

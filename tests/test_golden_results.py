@@ -100,12 +100,23 @@ def _run_m1():
     )
 
 
+def _run_e8c():
+    # Pinned at the module's default (golden) scale: 3 workloads × 5
+    # policies × 2 capacities of full event-driven soaks.  Pins the
+    # whole ablation surface — miss rates, penalty percentiles, install
+    # overhead, eviction-churn split, and the cost-vs-LRU deltas.
+    from repro.experiments.cachingablation import run_caching_ablation
+
+    return run_caching_ablation()
+
+
 @pytest.mark.parametrize(
     "runner",
-    [_run_a6, _run_c1, _run_e4, _run_c2, _run_c2_static, _run_m1],
+    [_run_a6, _run_c1, _run_e4, _run_c2, _run_c2_static, _run_m1, _run_e8c],
     ids=[
         "A6-failover-transient", "C1-chaos-soak", "E4-delay",
         "C2-rebalance-soak", "C2-static-soak", "M1-streaming-soak",
+        "E8-caching-ablation",
     ],
 )
 def test_golden_metrics(runner, run_context, update_goldens):
