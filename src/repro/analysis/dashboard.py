@@ -21,6 +21,7 @@ __all__ = [
     "sample_timelines",
     "authority_load_series",
     "render_control_plane",
+    "render_qos_points",
     "render_report",
 ]
 
@@ -166,6 +167,94 @@ def render_control_plane(section: Dict[str, object]) -> str:
     return "\n\n".join(blocks)
 
 
+def _class_table(classes: Dict[str, Dict[str, object]], title: str) -> str:
+    return render_table(
+        [
+            "class", "cache hits", "authority hits", "redirects",
+            "miss rate", "delivered", "dropped", "shed", "p99 redirect",
+        ],
+        [
+            [
+                cls,
+                stats["cache_hits"], stats["authority_hits"],
+                stats["redirects"],
+                "-" if stats["miss_rate"] is None
+                else f"{stats['miss_rate']:.4f}",
+                stats["delivered"], stats["dropped"], stats["shed"],
+                "-" if stats["redirect_p99_s"] is None
+                else f"{stats['redirect_p99_s']:g}s",
+            ]
+            for cls, stats in classes.items()
+        ],
+        title=title,
+    )
+
+
+def _slo_table(slo: Dict[str, Dict[str, object]], title: str) -> str:
+    return render_table(
+        [
+            "class", "budget", "eligible", "bad", "budget left",
+            "burn (short)", "burn (long)", "burns", "exhausted",
+        ],
+        [
+            [
+                cls,
+                f"{entry['budget']:g}",
+                entry["eligible_windows"], entry["bad_windows"],
+                f"{entry['budget_remaining']:.1%}",
+                f"{entry['max_burn_short']:g}x",
+                f"{entry['max_burn_long']:g}x",
+                entry["burn_findings"], entry["exhausted_findings"],
+            ]
+            for cls, entry in slo.items()
+        ],
+        title=title,
+    )
+
+
+def _findings_table(findings: List[Dict[str, object]], title: str) -> str:
+    return render_table(
+        ["window", "severity", "detector", "detail"],
+        [
+            [f["window"], f["severity"], f["detector"], f["detail"]]
+            for f in findings
+        ],
+        title=title,
+    )
+
+
+def render_qos_points(points: Dict[str, object]) -> List[str]:
+    """Per-mode SLO dashboards for a QoS sweep's ``notes.points``.
+
+    The E9 sweep runs each protection mode in its own run context, so
+    the document's telemetry slot stays empty and the per-class data
+    lives under the notes.  Render one dashboard per mode: traffic
+    table, error-budget table, and that mode's SLO findings.
+    """
+    blocks: List[str] = []
+    for mode, point in points.items():
+        if not isinstance(point, dict):
+            continue
+        classes = point.get("classes")
+        slo = point.get("slo")
+        if not classes and not slo:
+            continue
+        if classes:
+            blocks.append(_class_table(classes, f"Per-class traffic [{mode}]"))
+        if slo:
+            blocks.append(_slo_table(
+                slo, f"Per-class SLO error budgets [{mode}]"
+            ))
+        findings = point.get("slo_findings")
+        if findings:
+            blocks.append(_findings_table(
+                findings, f"SLO findings [{mode}] ({len(findings)})"
+            ))
+        else:
+            blocks.append(f"SLO findings [{mode}]: none")
+    return blocks
+
+
 def render_report(document: Dict[str, object], width: int = 64, height: int = 12) -> str:
     """The full ASCII dashboard for one metrics document."""
     blocks: List[str] = []
@@ -184,10 +273,19 @@ def render_report(document: Dict[str, object], width: int = 64, height: int = 12
         )
     else:
         windows = section.get("windows", [])
-        blocks.append(
-            f"telemetry: {len(windows)} windows at "
-            f"{section.get('interval_s')}s cadence"
-        )
+        if not windows:
+            # Explicit empty state: a telemetry section with zero windows
+            # means the run ended before the first boundary — distinct
+            # from "telemetry was never enabled" above.
+            blocks.append(
+                "telemetry: enabled but no windows closed (run shorter "
+                f"than the {section.get('interval_s')}s interval)"
+            )
+        else:
+            blocks.append(
+                f"telemetry: {len(windows)} windows at "
+                f"{section.get('interval_s')}s cadence"
+            )
         throughput = counter_timeline(
             section, "packets_delivered_total", label="delivered/s"
         )
@@ -211,18 +309,27 @@ def render_report(document: Dict[str, object], width: int = 64, height: int = 12
                 occupancy, width=width, height=height,
                 title="Cache occupancy (entries)",
             ))
-        findings = section.get("findings", [])
+        classes = section.get("classes")
+        if classes:
+            blocks.append(_class_table(classes, "Per-class traffic"))
+        slo = section.get("slo")
+        if slo:
+            blocks.append(_slo_table(slo, "Per-class SLO error budgets"))
+        findings = section.get("findings")
         if findings:
-            blocks.append(render_table(
-                ["window", "severity", "detector", "detail"],
-                [
-                    [f["window"], f["severity"], f["detector"], f["detail"]]
-                    for f in findings
-                ],
-                title=f"Health findings ({len(findings)})",
+            blocks.append(_findings_table(
+                findings, f"Health findings ({len(findings)})"
             ))
+        elif findings is None:
+            # Empty state distinct from "evaluated, nothing fired": this
+            # document predates (or skipped) health evaluation entirely.
+            blocks.append("Health findings: not evaluated for this document")
         else:
             blocks.append("Health findings: none")
+
+    points = (document.get("notes") or {}).get("points")
+    if isinstance(points, dict):
+        blocks.extend(render_qos_points(points))
 
     control_plane = document.get("control_plane")
     if control_plane:

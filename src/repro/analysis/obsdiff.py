@@ -22,6 +22,11 @@ __all__ = ["diff_documents", "render_diff"]
 #: only in the candidate document.
 _REGRESSION_SEVERITIES = frozenset({"warning", "critical"})
 
+#: Severity ordering for upgrade detection: a finding whose severity
+#: climbs this ranking between baseline and candidate is a regression
+#: even though its identity (window/detector/detail) already existed.
+_SEVERITY_RANK = {"info": 0, "warning": 1, "critical": 2}
+
 
 def _flatten(prefix: str, value, out: Dict[str, object]) -> None:
     if isinstance(value, dict):
@@ -65,10 +70,12 @@ def _compare_flat(
 
 
 def _finding_key(finding: dict) -> tuple:
+    # Identity deliberately excludes severity: the same finding at a new
+    # severity is a *changed* finding (an upgrade is a regression), not a
+    # new/resolved pair that the regression check would miss.
     return (
         finding.get("window"),
         finding.get("detector"),
-        finding.get("severity"),
         finding.get("detail"),
     )
 
@@ -101,20 +108,8 @@ def diff_documents(
     telemetry_b = candidate.get("telemetry", {})
     if telemetry_a or telemetry_b:
         flat_a, flat_b = {}, {}
-        _flatten("", {
-            "interval_s": telemetry_a.get("interval_s"),
-            "windows": {
-                str(w["index"]): {**w["counters"], **w.get("samples", {})}
-                for w in telemetry_a.get("windows", [])
-            },
-        }, flat_a)
-        _flatten("", {
-            "interval_s": telemetry_b.get("interval_s"),
-            "windows": {
-                str(w["index"]): {**w["counters"], **w.get("samples", {})}
-                for w in telemetry_b.get("windows", [])
-            },
-        }, flat_b)
+        _flatten("", _telemetry_view(telemetry_a), flat_a)
+        _flatten("", _telemetry_view(telemetry_b), flat_b)
         changes = _compare_flat(flat_a, flat_b, rel_tolerance)
         if changes:
             sections["telemetry"] = changes
@@ -131,19 +126,57 @@ def diff_documents(
             findings_a.keys() - findings_b.keys(), key=repr
         )
     ]
+    changed_findings = [
+        {"from": findings_a[key], "to": findings_b[key]}
+        for key in sorted(findings_a.keys() & findings_b.keys(), key=repr)
+        if findings_a[key].get("severity") != findings_b[key].get("severity")
+    ]
     regressions = [
         finding for finding in new_findings
         if finding.get("severity") in _REGRESSION_SEVERITIES
+    ] + [
+        change["to"] for change in changed_findings
+        if _SEVERITY_RANK.get(change["to"].get("severity"), 0)
+        > _SEVERITY_RANK.get(change["from"].get("severity"), 0)
     ]
 
-    identical = not sections and not new_findings and not resolved_findings
+    identical = (
+        not sections and not new_findings
+        and not resolved_findings and not changed_findings
+    )
     return {
         "identical": identical,
         "sections": sections,
         "new_findings": new_findings,
         "resolved_findings": resolved_findings,
+        "changed_findings": changed_findings,
         "regressions": regressions,
     }
+
+
+def _telemetry_view(section: Dict[str, object]) -> Dict[str, object]:
+    """The flattenable projection of one telemetry section.
+
+    Covers the per-class QoS additions (``slo_specs`` / ``classes`` /
+    ``slo``) alongside the windows so a document that gains or changes a
+    per-class section can never diff as identical.
+    """
+    view: Dict[str, object] = {
+        "interval_s": section.get("interval_s"),
+        "windows": {
+            str(w["index"]): {**w["counters"], **w.get("samples", {})}
+            for w in section.get("windows", [])
+        },
+    }
+    if section.get("slo_specs"):
+        view["slo_specs"] = {
+            str(i): spec for i, spec in enumerate(section["slo_specs"])
+        }
+    if section.get("classes"):
+        view["classes"] = section["classes"]
+    if section.get("slo"):
+        view["slo"] = section["slo"]
+    return view
 
 
 def _format_value(value) -> str:
@@ -187,9 +220,19 @@ def render_diff(diff: Dict[str, object], max_rows: int = 40) -> str:
                     f"{finding.get('window')} {finding.get('detector')}: "
                     f"{finding.get('detail')}"
                 )
+    changed = diff.get("changed_findings", [])
+    if changed:
+        lines.append(f"changed findings: {len(changed)}")
+        for change in changed:
+            before, after = change["from"], change["to"]
+            lines.append(
+                f"  ~ [{before.get('severity')} -> {after.get('severity')}] "
+                f"window {after.get('window')} {after.get('detector')}: "
+                f"{after.get('detail')}"
+            )
     if diff["regressions"]:
         lines.append(
-            f"REGRESSION: {len(diff['regressions'])} new "
+            f"REGRESSION: {len(diff['regressions'])} new or upgraded "
             f"warning/critical finding(s) in the candidate document"
         )
     return "\n".join(lines) + "\n"

@@ -136,6 +136,19 @@ def _e9(quick: bool, jobs=None) -> ExperimentResult:
     )
 
 
+def _e9q(quick: bool, jobs=None) -> ExperimentResult:
+    from repro.experiments.qos import run_qos_slo
+    if quick:
+        return run_qos_slo(jobs=jobs)
+    return run_qos_slo(
+        hosts=4096,
+        edge_switches=4,
+        epochs=72,
+        burst_size=64,
+        jobs=jobs,
+    )
+
+
 def _e10(quick: bool, jobs=None) -> ExperimentResult:
     from repro.experiments.partitioning import run_cut_ablation
     return run_cut_ablation(partition_counts=[4, 16] if quick else None)
@@ -199,6 +212,7 @@ EXPERIMENTS: Dict[str, Tuple[str, Callable[..., ExperimentResult]]] = {
     "E8": ("Fig: stretch by authority placement", _e8),
     "E8C": ("Ablation: cache eviction policy × capacity, streaming traffic", _e8c),
     "E9": ("Table: cost of network dynamics", _e9),
+    "E9Q": ("Ablation: per-class QoS SLO protection under flash crowds", _e9q),
     "E10": ("Ablation: cut-selection heuristic", _e10),
     "C1": ("Chaos soak: faults, detection, degradation", _c1),
     "C2": ("Self-healing soak: sharded control plane, migration", _c2),

@@ -34,6 +34,7 @@ from repro.core.cachegen import (
     generate_cache_rules,
 )
 from repro.net.events import ServiceStation
+from repro.obs.qos import current_qos
 from repro.obs.registry import NULL_METRIC
 from repro.obs.trace import TraceKind
 from repro.openflow.messages import (
@@ -150,6 +151,11 @@ class DifaneSwitch(DataPlaneSwitch):
         self.redirects_out = 0
         self.redirects_handled = 0
         self.redirects_dropped = 0
+        #: Redirects refused by QoS admission control (unprotected classes
+        #: shed while the redirect queue is above the threshold).  Not in
+        #: ``_MIRRORED_STATS`` — the per-class ``qos_shed_total`` counters
+        #: carry it to the registry, and only when a QoS policy is active.
+        self.redirects_shed = 0
         self.cache_installs_sent = 0
         #: In-band install messages that carried more than one sibling
         #: fragment (dependency-aware batching at prefetch > 1).
@@ -163,6 +169,10 @@ class DifaneSwitch(DataPlaneSwitch):
         #: attach() binds the network's registry (keeps directly-driven
         #: switches working in unit tests).
         self._m: dict = {stat: NULL_METRIC for stat in self._MIRRORED_STATS}
+        #: QoS wiring — bound in attach() when a policy is installed;
+        #: ``None``/empty otherwise so the hot path stays a cheap test.
+        self._qos = None
+        self._qc: dict = {}
 
     # -- wiring ---------------------------------------------------------------
     def attach(self, network) -> None:
@@ -194,6 +204,26 @@ class DifaneSwitch(DataPlaneSwitch):
                 name=f"{self.name}.redirect",
                 metrics=network.metrics,
             )
+        # Per-class QoS wiring: bind one counter per (statistic, class) so
+        # hot-path increments are dict lookups, apply the cache-residency
+        # knobs, and remember the policy for classification.  All of it is
+        # gated on a policy being installed — with QoS off (the default) no
+        # qos_* counter is ever bound and the goldens stay byte-identical.
+        policy = current_qos()
+        self._qos = policy
+        if policy is not None:
+            names = policy.classifier.class_names()
+            for cls in names:
+                for stat in ("cache_hits", "authority_hits", "redirects", "shed"):
+                    self._qc[(stat, cls)] = registry.counter(
+                        f"qos_{stat}_total", flow_class=cls, switch=self.name
+                    )
+            weights = policy.class_weights()
+            if weights:
+                self.cache.set_class_weights(weights)
+            reserved = policy.reservations(self.cache.capacity)
+            if reserved:
+                self.cache.set_reservations(reserved)
 
     def _telemetry_probe(self) -> dict:
         """Per-window level samples for the telemetry recorder."""
@@ -321,7 +351,8 @@ class DifaneSwitch(DataPlaneSwitch):
                 return
             # Redirected to this authority switch.
             if self._redirect_station is not None:
-                self._redirect_station.submit(packet)
+                if not self._admission_shed(packet):
+                    self._redirect_station.submit(packet)
             else:
                 self._handle_redirect(packet)
             return
@@ -337,6 +368,8 @@ class DifaneSwitch(DataPlaneSwitch):
         if result.stage is PipelineStage.CACHE:
             self.cache_hits += 1
             self._m["cache_hits"].inc()
+            if self._qos is not None:
+                self._qos_count("cache_hits", (packet.header_bits,))
             if tracer.enabled:
                 tracer.record(now, TraceKind.CACHE_HIT, packet, node=self.name)
             self._terminal(packet, result.rule)
@@ -345,12 +378,16 @@ class DifaneSwitch(DataPlaneSwitch):
             # partition: handle locally, no redirect needed.
             self.authority_hits += 1
             self._m["authority_hits"].inc()
+            if self._qos is not None:
+                self._qos_count("authority_hits", (packet.header_bits,))
             if tracer.enabled:
                 tracer.record(now, TraceKind.AUTHORITY_HIT, packet, node=self.name)
             self._terminal(packet, result.rule)
         elif result.stage is PipelineStage.PARTITION:
             self.redirects_out += 1
             self._m["redirects_out"].inc()
+            if self._qos is not None:
+                self._qos_count("redirects", (packet.header_bits,))
             packet.via_authority = True
             if tracer.enabled:
                 tracer.record(now, TraceKind.REDIRECT, packet, node=self.name)
@@ -404,7 +441,8 @@ class DifaneSwitch(DataPlaneSwitch):
                 # The redirect budget is per packet; feed the station the
                 # scalar view so queueing/loss behaviour is unchanged.
                 for packet in batch.packets():
-                    self._redirect_station.submit(packet)
+                    if not self._admission_shed(packet):
+                        self._redirect_station.submit(packet)
                 return
             self._handle_redirect_batch(batch)
             return
@@ -416,6 +454,8 @@ class DifaneSwitch(DataPlaneSwitch):
             if stage is PipelineStage.CACHE:
                 self.cache_hits += count
                 self._m["cache_hits"].inc(count)
+                if self._qos is not None:
+                    self._qos_count("cache_hits", sub.header_bits_list())
                 if tracer.enabled:
                     tracer.record_batch(
                         now, TraceKind.CACHE_HIT, sub.packets(), node=self.name
@@ -424,6 +464,8 @@ class DifaneSwitch(DataPlaneSwitch):
             elif stage is PipelineStage.AUTHORITY:
                 self.authority_hits += count
                 self._m["authority_hits"].inc(count)
+                if self._qos is not None:
+                    self._qos_count("authority_hits", sub.header_bits_list())
                 if tracer.enabled:
                     tracer.record_batch(
                         now, TraceKind.AUTHORITY_HIT, sub.packets(), node=self.name
@@ -432,6 +474,8 @@ class DifaneSwitch(DataPlaneSwitch):
             elif stage is PipelineStage.PARTITION:
                 self.redirects_out += count
                 self._m["redirects_out"].inc(count)
+                if self._qos is not None:
+                    self._qos_count("redirects", sub.header_bits_list())
                 sub.via_authority[:] = True
                 if tracer.enabled:
                     tracer.record_batch(
@@ -690,12 +734,43 @@ class DifaneSwitch(DataPlaneSwitch):
             for cached in cached_rules:
                 self.install_cache_rule(cached)
 
+    def _qos_count(self, stat: str, header_bits_iter) -> None:
+        """Increment the per-class counter for ``stat`` per packed header."""
+        classify = self._qos.classifier.classify_bits
+        qc = self._qc
+        for bits in header_bits_iter:
+            qc[(stat, classify(bits))].inc()
+
+    def _admission_shed(self, packet: Packet) -> bool:
+        """Shed an unprotected-class redirect when the queue is deep.
+
+        Threshold admission control (armed by the QoS policy): once the
+        redirect station's queue is at least ``admission_threshold`` deep,
+        redirects of unprotected classes are refused on arrival — with
+        exact drop attribution — instead of queueing behind (and ahead of)
+        protected traffic.  Protected classes always pass; the station's
+        own tail-drop limit still backstops them.
+        """
+        qos = self._qos
+        if qos is None or qos.admission_threshold is None:
+            return False
+        if self._redirect_station.queue_depth < qos.admission_threshold:
+            return False
+        cls = qos.classifier.classify_bits(packet.header_bits)
+        if qos.is_protected(cls):
+            return False
+        self.redirects_shed += 1
+        self._qc[("shed", cls)].inc()
+        self.network.record_drop(packet, self.name, f"admission shed {cls}")
+        return True
+
     def _cache_rules_for(self, rule: Rule, packet_bits: int) -> List[Rule]:
         """The cache rule(s) one miss generates (fragment + prefetch)."""
         authority_rules = list(self.pipeline.authority.table.rules)
+        cached_rules: Optional[List[Rule]] = None
         if self.prefetch_fragments > 1:
             try:
-                return generate_cache_rules(
+                cached_rules = generate_cache_rules(
                     authority_rules,
                     rule,
                     packet_bits=packet_bits,
@@ -703,9 +778,18 @@ class DifaneSwitch(DataPlaneSwitch):
                     max_members=max(64, 8 * self.prefetch_fragments),
                 )
             except WinRegionTooLarge:
-                pass  # fall through to the single-fragment path
-        cached = generate_cache_rule(authority_rules, rule, packet_bits)
-        return [] if cached is None else [cached]
+                cached_rules = None  # fall back to the single-fragment path
+        if cached_rules is None:
+            cached = generate_cache_rule(authority_rules, rule, packet_bits)
+            cached_rules = [] if cached is None else [cached]
+        if self._qos is not None and cached_rules:
+            # Stamp the class the *missed packet* belongs to — the single
+            # chokepoint every install path (scalar, batch, local) funnels
+            # through, so residency protection sees every cache rule.
+            name = self._qos.classifier.classify_bits(packet_bits)
+            for cached in cached_rules:
+                cached.flow_class = name
+        return cached_rules
 
     def _send_cache_install(
         self, ingress: str, rule: Rule, packet_bits: int, packet: Optional[Packet] = None

@@ -870,6 +870,7 @@ class DifaneNetwork:
         replication: int = 1,
         partitions_per_authority: int = 1,
         redirect_rate: Optional[float] = None,
+        redirect_queue: int = 512,
         idle_timeout: Optional[float] = None,
         hard_timeout: Optional[float] = None,
         eviction: EvictionPolicy = EvictionPolicy.LRU,
@@ -895,6 +896,7 @@ class DifaneNetwork:
                     layout,
                     cache_capacity=cache_capacity,
                     redirect_rate=redirect_rate,
+                    redirect_queue=redirect_queue,
                     idle_timeout=idle_timeout,
                     hard_timeout=hard_timeout,
                     eviction=eviction,

@@ -152,6 +152,7 @@ class Rule:
         "idle_timeout",
         "hard_timeout",
         "refetch_penalty_s",
+        "flow_class",
     )
 
     def __init__(
@@ -189,6 +190,10 @@ class Rule:
         #: RTT to the owning authority switch, seconds); stamped by the
         #: authority on cache installs, consumed by cost-aware eviction.
         self.refetch_penalty_s: Optional[float] = None
+        #: QoS flow class served by this (cache) rule; stamped by the
+        #: authority when a QoS policy is active (see :mod:`repro.obs.qos`),
+        #: consumed by class-weighted scoring and residency reservations.
+        self.flow_class: Optional[str] = None
 
     # -- derivation --------------------------------------------------------------
     def root_origin(self) -> "Rule":

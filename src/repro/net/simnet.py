@@ -27,6 +27,7 @@ from repro.net.routing import RoutingTable, compute_routes
 from repro.net.topology import Topology
 from repro.obs import context as _obs_context
 from repro.obs.attribution import attribute_reason
+from repro.obs.qos import current_qos, delay_bucket
 from repro.obs.trace import TraceKind
 
 __all__ = ["SimNetwork", "DeliveryRecord"]
@@ -251,6 +252,12 @@ class SimNetwork:
         self._m_delivered = self.metrics.counter("packets_delivered_total")
         self._m_control = self.metrics.counter("control_messages_total")
         self._m_dropped: Dict[str, object] = {}
+        # Per-class QoS outcome accounting — only active when a policy is
+        # installed (see repro.obs.qos); children bound lazily per class.
+        self._qos = current_qos()
+        self._q_delivered: Dict[str, object] = {}
+        self._q_dropped: Dict[str, object] = {}
+        self._q_delay: Dict[Tuple[str, str], object] = {}
         # Hot-path host membership: _arrive runs once per hop for every
         # packet, and the networkx role lookup it replaced was two dict
         # chases per call.  Refreshed on every topology change (all of
@@ -544,9 +551,50 @@ class SimNetwork:
         self.scheduler.schedule(distance + CONTROL_OVERHEAD_S, handler, *args)
 
     # -- accounting -------------------------------------------------------------------
+    def _qos_outcome(
+        self, header_bits: int, delivered: bool, via_authority: bool, delay: float
+    ) -> None:
+        """Per-class delivery/drop/latency accounting (QoS active only).
+
+        Redirect latency is observed as a histogram bucket counter per
+        class — bucket counts are integer, order-free and mergeable, so
+        per-class quantiles survive the ``--jobs N`` byte-identity rule
+        where a true per-sample quantile would not.  Only packets that
+        actually crossed an authority (``via_authority``) land in the
+        latency histogram: cache hits never paid a redirect.
+        """
+        cls = self._qos.classifier.classify_bits(header_bits)
+        if delivered:
+            child = self._q_delivered.get(cls)
+            if child is None:
+                child = self.metrics.counter("qos_delivered_total", flow_class=cls)
+                self._q_delivered[cls] = child
+            child.inc()
+            if via_authority:
+                label = delay_bucket(delay)
+                key = (cls, label)
+                bucket = self._q_delay.get(key)
+                if bucket is None:
+                    bucket = self.metrics.counter(
+                        "qos_redirect_delay_bucket_total", flow_class=cls, le=label
+                    )
+                    self._q_delay[key] = bucket
+                bucket.inc()
+        else:
+            child = self._q_dropped.get(cls)
+            if child is None:
+                child = self.metrics.counter("qos_dropped_total", flow_class=cls)
+                self._q_dropped[cls] = child
+            child.inc()
+
     def record_delivery(self, packet: Packet, endpoint: str) -> None:
         """Record a successful delivery at ``endpoint``."""
         self._m_delivered.inc()
+        if self._qos is not None:
+            self._qos_outcome(
+                packet.header_bits, True, packet.via_authority,
+                self.scheduler.now - (packet.created_at or 0.0),
+            )
         if self.tracer.enabled:
             self.tracer.record(
                 self.scheduler.now, TraceKind.DELIVERED, packet, node=endpoint
@@ -568,6 +616,8 @@ class SimNetwork:
 
     def record_drop(self, packet: Packet, where: str, reason: str) -> None:
         """Record a packet loss at ``where``."""
+        if self._qos is not None:
+            self._qos_outcome(packet.header_bits, False, packet.via_authority, 0.0)
         bucket = attribute_reason(reason)
         child = self._m_dropped.get(bucket)
         if child is None:
@@ -606,6 +656,12 @@ class SimNetwork:
         count = len(batch)
         self._m_delivered.inc(count)
         now = self.scheduler.now
+        if self._qos is not None:
+            delay = now - (batch.created_at or 0.0)
+            for bits, via in zip(
+                batch.header_bits_list(), batch.via_authority.tolist()
+            ):
+                self._qos_outcome(bits, True, via, delay)
         if self.tracer.enabled:
             self.tracer.record_batch(
                 now, TraceKind.DELIVERED, batch.packets(), node=endpoint
@@ -615,6 +671,11 @@ class SimNetwork:
     def record_drop_batch(self, batch: PacketBatch, where: str, reason: str) -> None:
         """Record a whole batch lost at ``where`` for one ``reason``."""
         count = len(batch)
+        if self._qos is not None:
+            for bits, via in zip(
+                batch.header_bits_list(), batch.via_authority.tolist()
+            ):
+                self._qos_outcome(bits, False, via, 0.0)
         bucket = attribute_reason(reason)
         child = self._m_dropped.get(bucket)
         if child is None:

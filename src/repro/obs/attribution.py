@@ -36,6 +36,7 @@ DROP_ATTRIBUTION: List[Tuple[str, str]] = [
     ("no terminal action", "policy-intent"),
     ("punt without controller", "policy-intent"),
     ("control channel lost", "control-lost"),
+    ("admission shed", "admission-control"),
     ("authority overloaded", "overload"),
     ("switch overloaded", "overload"),
     ("controller overloaded", "overload"),

@@ -20,20 +20,35 @@ byte-deterministic, so nothing here adapts to the data):
   ingress caches under-provisioned for the working set).
 * **top-switches** — informational: the heaviest switches by total
   data-plane work, for the report dashboards.
+* **slo-burn / slo-exhausted** — per-class SLO evaluation (only when the
+  telemetry section carries ``slo_specs``): each class's windows are
+  judged against its :class:`~repro.obs.qos.SloSpec` targets, and
+  multi-window burn rates over the resulting error budget emit a
+  warning when the budget is burning fast (short *and* long trailing
+  burn above threshold) and a critical, once, when the run's whole
+  budget is spent.
 """
 
 from __future__ import annotations
 
+import math
 import re
 from typing import Dict, List, Optional
+
+from repro.obs.qos import bucket_quantile
 
 __all__ = [
     "evaluate_telemetry",
     "jain_fairness",
+    "slo_report",
+    "qos_class_summary",
     "IMBALANCE_FAIRNESS_THRESHOLD",
     "IMBALANCE_MIN_LOAD",
     "CACHE_CHURN_THRESHOLD",
     "TOP_K_SWITCHES",
+    "SLO_SHORT_WINDOWS",
+    "SLO_LONG_WINDOWS",
+    "SLO_BURN_THRESHOLD",
 ]
 
 #: Jain index below which per-window authority load counts as imbalanced
@@ -50,7 +65,19 @@ CACHE_CHURN_THRESHOLD = 16
 #: Switches listed by the informational top-switches finding.
 TOP_K_SWITCHES = 3
 
+#: Trailing eligible windows in the *short* (fast) burn-rate window.
+SLO_SHORT_WINDOWS = 3
+
+#: Trailing eligible windows in the *long* (sustained) burn-rate window.
+SLO_LONG_WINDOWS = 12
+
+#: Burn-rate multiple of the budget that, sustained in both windows
+#: while the current window is bad, emits the slo-burn warning.
+SLO_BURN_THRESHOLD = 2.0
+
 _SWITCH_LABEL = re.compile(r"\{switch=([^}]*)\}")
+_CLASS_LABEL = re.compile(r"[{,]flow_class=([^,}]*)")
+_LE_LABEL = re.compile(r"[{,]le=([^,}]*)")
 
 
 def jain_fairness(values: List[float]) -> float:
@@ -179,6 +206,9 @@ def evaluate_telemetry(section: Dict[str, object]) -> List[Dict[str, object]]:
             )
         )
 
+    if section.get("slo_specs"):
+        findings.extend(slo_report(section)["findings"])
+
     findings.sort(key=lambda f: (f["window"], f["detector"]))
     return findings
 
@@ -231,3 +261,216 @@ def _top_switches(windows) -> List:
         key=lambda kv: (-kv[1], kv[0]),
     )
     return ranked[:TOP_K_SWITCHES]
+
+
+# -- per-class SLO evaluation ------------------------------------------------
+
+def _class_stats(counters: Dict[str, float]) -> Dict[str, Dict[str, object]]:
+    """Aggregate one window's ``qos_*`` counters per flow class.
+
+    The per-switch split the counters carry is irrelevant to SLO math —
+    a class's miss rate is network-wide — so everything folds down to
+    per-class sums (plus the latency histogram's per-bucket sums).
+    """
+    stats: Dict[str, Dict[str, object]] = {}
+    for key, value in counters.items():
+        if not key.startswith("qos_"):
+            continue
+        label = _CLASS_LABEL.search(key)
+        if label is None:
+            continue
+        entry = stats.setdefault(label.group(1), {
+            "cache_hits": 0.0, "authority_hits": 0.0, "redirects": 0.0,
+            "delivered": 0.0, "dropped": 0.0, "shed": 0.0, "buckets": {},
+        })
+        name = key.split("{", 1)[0]
+        if name == "qos_redirect_delay_bucket_total":
+            le = _LE_LABEL.search(key)
+            if le is not None:
+                buckets = entry["buckets"]
+                buckets[le.group(1)] = buckets.get(le.group(1), 0.0) + value
+        elif name == "qos_cache_hits_total":
+            entry["cache_hits"] += value
+        elif name == "qos_authority_hits_total":
+            entry["authority_hits"] += value
+        elif name == "qos_redirects_total":
+            entry["redirects"] += value
+        elif name == "qos_delivered_total":
+            entry["delivered"] += value
+        elif name == "qos_dropped_total":
+            entry["dropped"] += value
+        elif name == "qos_shed_total":
+            entry["shed"] += value
+    return stats
+
+
+def _violations(stats: Optional[Dict[str, object]], spec: Dict[str, object]) -> List[str]:
+    """Which of the spec's targets this window's class stats violate."""
+    reasons: List[str] = []
+    if stats is None:
+        return reasons
+    target = spec.get("miss_rate_target")
+    lookups = stats["cache_hits"] + stats["authority_hits"] + stats["redirects"]
+    if target is not None and lookups > 0:
+        miss = stats["redirects"] / lookups
+        if miss > target:
+            reasons.append(f"miss-rate {miss:.3f} > {target:g}")
+    target = spec.get("latency_target_s")
+    if target is not None:
+        quantile = float(spec.get("latency_quantile", 0.99))
+        observed = bucket_quantile(stats["buckets"], quantile)
+        if observed is not None and observed > target:
+            reasons.append(
+                f"p{100 * quantile:g} redirect latency {observed:g}s > {target:g}s"
+            )
+    target = spec.get("delivery_target")
+    outcomes = stats["delivered"] + stats["dropped"]
+    if target is not None and outcomes > 0:
+        rate = stats["delivered"] / outcomes
+        if rate < target:
+            reasons.append(f"delivery {rate:.3f} < {target:g}")
+    return reasons
+
+
+def slo_report(section: Dict[str, object]) -> Dict[str, object]:
+    """Evaluate every exported SLO spec over the telemetry windows.
+
+    Per class: a window is **eligible** when the class saw any traffic
+    in it, **bad** when any configured target is violated.  The error
+    budget allows ``budget × eligible`` bad windows across the run;
+    trailing burn rates over :data:`SLO_SHORT_WINDOWS` /
+    :data:`SLO_LONG_WINDOWS` eligible windows emit ``slo-burn``
+    (warning) while the budget drains fast, and ``slo-exhausted``
+    (critical) fires once when the cumulative bad count exceeds the
+    run's whole allowance — immediately on the first bad window when
+    the budget is zero.  Pure function of the section: identical runs
+    yield identical findings, so goldens can pin them.
+    """
+    specs = section.get("slo_specs") or []
+    windows = section.get("windows", [])
+    per_window = [_class_stats(window["counters"]) for window in windows]
+    findings: List[Dict[str, object]] = []
+    summary: Dict[str, Dict[str, object]] = {}
+    for spec in sorted(specs, key=lambda s: s["flow_class"]):
+        cls = spec["flow_class"]
+        budget = float(spec.get("budget", 0.0))
+        judged = []  # (window, eligible, reasons) in window order
+        for window, stats_by_class in zip(windows, per_window):
+            stats = stats_by_class.get(cls)
+            eligible = stats is not None and (
+                stats["cache_hits"] + stats["authority_hits"]
+                + stats["redirects"] + stats["delivered"] + stats["dropped"]
+            ) > 0
+            judged.append((window, eligible, _violations(stats, spec)))
+        total_eligible = sum(1 for _, eligible, _ in judged if eligible)
+        allowed = budget * total_eligible
+        history: List[bool] = []  # badness per eligible window, in order
+        cum_bad = 0
+        exhausted = False
+        max_short = 0.0
+        max_long = 0.0
+        burn_findings = 0
+        exhausted_findings = 0
+        for window, eligible, reasons in judged:
+            if not eligible:
+                continue
+            bad = bool(reasons)
+            history.append(bad)
+            if bad:
+                cum_bad += 1
+            if budget > 0 and len(history) >= SLO_SHORT_WINDOWS:
+                # Warm-up gate: a burn rate over fewer windows than the
+                # short detector's span is all cold-start noise (the very
+                # first bad window would read as a 1/budget-x burn).
+                short = history[-SLO_SHORT_WINDOWS:]
+                long = history[-SLO_LONG_WINDOWS:]
+                short_burn = (sum(short) / len(short)) / budget
+                long_burn = (sum(long) / len(long)) / budget
+                max_short = max(max_short, short_burn)
+                max_long = max(max_long, long_burn)
+                if (
+                    bad
+                    and short_burn >= SLO_BURN_THRESHOLD
+                    and long_burn >= SLO_BURN_THRESHOLD
+                ):
+                    burn_findings += 1
+                    findings.append(
+                        _finding(
+                            "slo-burn",
+                            "warning",
+                            window,
+                            f"class {cls}: burning {short_burn:.2f}x/"
+                            f"{long_burn:.2f}x of budget {budget:g} "
+                            f"({'; '.join(reasons)})",
+                        )
+                    )
+            if not exhausted and bad and cum_bad > allowed:
+                exhausted = True
+                exhausted_findings += 1
+                findings.append(
+                    _finding(
+                        "slo-exhausted",
+                        "critical",
+                        window,
+                        f"class {cls}: {cum_bad} bad of {total_eligible} "
+                        f"eligible windows exceeds error budget {budget:g} "
+                        f"({'; '.join(reasons)})",
+                    )
+                )
+        remaining = (
+            (allowed - cum_bad) / allowed if allowed > 0
+            else (1.0 if cum_bad == 0 else 0.0)
+        )
+        summary[cls] = {
+            "bad_windows": cum_bad,
+            "budget": budget,
+            "budget_remaining": round(remaining, 6),
+            "burn_findings": burn_findings,
+            "eligible_windows": total_eligible,
+            "exhausted_findings": exhausted_findings,
+            "max_burn_long": round(max_long, 4),
+            "max_burn_short": round(max_short, 4),
+        }
+    return {"findings": findings, "summary": summary}
+
+
+def qos_class_summary(section: Dict[str, object]) -> Dict[str, Dict[str, object]]:
+    """Whole-run per-class traffic totals from the windowed qos counters.
+
+    Empty (falsy) when the run recorded no per-class counters at all, so
+    callers can gate the extra document section on it.
+    """
+    totals: Dict[str, Dict[str, object]] = {}
+    for window in section.get("windows", []):
+        for cls, stats in _class_stats(window["counters"]).items():
+            entry = totals.setdefault(cls, {
+                "cache_hits": 0.0, "authority_hits": 0.0, "redirects": 0.0,
+                "delivered": 0.0, "dropped": 0.0, "shed": 0.0, "buckets": {},
+            })
+            for field in (
+                "cache_hits", "authority_hits", "redirects",
+                "delivered", "dropped", "shed",
+            ):
+                entry[field] += stats[field]
+            for label, value in stats["buckets"].items():
+                entry["buckets"][label] = entry["buckets"].get(label, 0.0) + value
+    out: Dict[str, Dict[str, object]] = {}
+    for cls in sorted(totals):
+        entry = totals[cls]
+        lookups = entry["cache_hits"] + entry["authority_hits"] + entry["redirects"]
+        p99 = bucket_quantile(entry["buckets"], 0.99)
+        if p99 is not None and math.isinf(p99):
+            p99 = None  # overflow bucket: beyond the histogram's range
+        out[cls] = {
+            "authority_hits": entry["authority_hits"],
+            "cache_hits": entry["cache_hits"],
+            "delivered": entry["delivered"],
+            "dropped": entry["dropped"],
+            "miss_rate": (
+                round(entry["redirects"] / lookups, 6) if lookups > 0 else None
+            ),
+            "redirect_p99_s": p99,
+            "redirects": entry["redirects"],
+            "shed": entry["shed"],
+        }
+    return out

@@ -97,6 +97,10 @@ class TelemetryRecorder:
         self._windows: Dict[int, Tuple[Dict[str, float], Dict[str, float]]] = {}
         #: Counter values at the last sample (the delta baseline).
         self._last_values: Dict[str, float] = {}
+        #: Per-class SLO specs (:class:`repro.obs.qos.SloSpec`) the health
+        #: layer evaluates over these windows; empty (the default) keeps
+        #: the exported section — and every pre-QoS golden — unchanged.
+        self.slo_specs: List[object] = []
 
     # -- scheduler-facing sampling --------------------------------------------
     def deadline(self, index: int) -> float:
@@ -218,11 +222,24 @@ class TelemetryRecorder:
 
 
 def telemetry_section(recorder: TelemetryRecorder) -> Dict[str, object]:
-    """The telemetry section for the metrics document: windows + findings."""
-    from repro.obs.health import evaluate_telemetry
+    """The telemetry section for the metrics document: windows + findings.
+
+    With SLO specs attached (QoS runs) the section additionally carries
+    the specs themselves, the per-class traffic totals, and the per-class
+    error-budget summary — all strictly additive, so documents from runs
+    without QoS are byte-identical to the pre-QoS format.
+    """
+    from repro.obs.health import evaluate_telemetry, qos_class_summary, slo_report
 
     section = recorder.export()
+    if recorder.slo_specs:
+        section["slo_specs"] = [spec.export() for spec in recorder.slo_specs]
     section["findings"] = evaluate_telemetry(section)
+    classes = qos_class_summary(section)
+    if classes:
+        section["classes"] = classes
+    if recorder.slo_specs:
+        section["slo"] = slo_report(section)["summary"]
     return section
 
 

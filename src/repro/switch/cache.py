@@ -103,6 +103,13 @@ class CacheManager:
         COST policy: weight of the fragment's headerspace coverage term
         (a fully wildcarded fragment scores ``1 + weight`` times an
         exact-match one at equal rate and penalty).
+    class_weights:
+        QoS: per-flow-class multipliers on the COST score (see
+        :mod:`repro.obs.qos`).  Empty/None leaves scoring untouched.
+    reserved:
+        QoS: per-flow-class reserved entry counts.  While a class holds
+        at most its reservation, its entries are never selected as
+        victims for *other* classes' installs (residency protection).
     """
 
     def __init__(
@@ -116,6 +123,8 @@ class CacheManager:
         cost_tau: float = 1.0,
         cost_base_penalty: float = 1e-3,
         cost_coverage_weight: float = 1.0,
+        class_weights: Optional[Dict[str, float]] = None,
+        reserved: Optional[Dict[str, int]] = None,
     ):
         if capacity < 0:
             raise ValueError(f"cache capacity must be non-negative, got {capacity}")
@@ -141,6 +150,10 @@ class CacheManager:
         # GreedyDual inflation clock: raised to the victim's score on every
         # capacity eviction, so long-resident entries age without rescans.
         self._cost_clock = 0.0
+        # -- QoS residency protection (empty = zero-overhead legacy path) --
+        self._class_weights: Dict[str, float] = {}
+        self._reserved: Dict[str, int] = {}
+        self._class_occupancy: Dict[str, int] = {}
         # -- indexes (maintained from the TCAM's observer hooks) --
         self._entries: Dict[int, _Entry] = {}
         self._by_key: Dict[tuple, Rule] = {}
@@ -154,6 +167,10 @@ class CacheManager:
         tcam.add_evict_hook(self._note_evict)
         if policy is EvictionPolicy.COST:
             tcam.add_hit_hook(self._note_hit)
+        if class_weights:
+            self.set_class_weights(class_weights)
+        if reserved:
+            self.set_reservations(reserved)
 
     # -- installs ---------------------------------------------------------------
     def cache_rules(self) -> List[Rule]:
@@ -177,6 +194,50 @@ class CacheManager:
             "invalidated": self.invalidated,
         }
 
+    # -- QoS protection knobs ---------------------------------------------------
+    def set_class_weights(self, weights: Optional[Dict[str, float]]) -> None:
+        """Install per-class COST score multipliers (QoS residency bias).
+
+        Rescores live entries so the heap reflects the new weights
+        immediately; non-COST policies just store them (inert).
+        """
+        self._class_weights = {
+            name: float(value) for name, value in (weights or {}).items()
+        }
+        if self.policy is EvictionPolicy.COST:
+            for entry in self._entries.values():
+                self._rescore(entry)
+
+    def set_reservations(self, reserved: Optional[Dict[str, int]]) -> None:
+        """Install per-class reserved entry counts (residency protection).
+
+        Rebuilds the per-class occupancy index from the live entries, so
+        reservations configured after warm-up still count what's already
+        resident.
+        """
+        self._reserved = {
+            name: int(value)
+            for name, value in (reserved or {}).items()
+            if int(value) > 0
+        }
+        self._class_occupancy = {}
+        if self._reserved:
+            for entry in self._entries.values():
+                name = entry.rule.flow_class
+                if name is not None:
+                    self._class_occupancy[name] = (
+                        self._class_occupancy.get(name, 0) + 1
+                    )
+
+    def _shielded(self, rule: Rule, installing_class: Optional[str]) -> bool:
+        """True when ``rule`` sits inside its class's reservation and the
+        install pressuring it comes from a *different* class."""
+        name = rule.flow_class
+        if name is None or name == installing_class:
+            return False
+        reserve = self._reserved.get(name, 0)
+        return 0 < self._class_occupancy.get(name, 0) <= reserve
+
     def install(self, rule: Rule, now: float) -> Optional[Rule]:
         """Install a cache rule, evicting per policy if needed.
 
@@ -199,7 +260,7 @@ class CacheManager:
                     self._observe(entry, 1, now)
             return existing
         while self.occupancy() >= self.capacity:
-            victim = self._select_victim(now)
+            victim = self._select_victim(now, installing_class=rule.flow_class)
             if victim is None:
                 return None
             self._evict_victim(victim)
@@ -225,6 +286,11 @@ class CacheManager:
         evicted: List[Rule] = []
         while self.occupancy() > self.capacity:
             victim = self._select_victim(now)
+            if victim is None and self._reserved:
+                # A shrink must land whatever the reservations say; the
+                # protection only arbitrates *between* classes at equal
+                # total budget.
+                victim = self._select_victim(now, ignore_protection=True)
             if victim is None:
                 break
             self._evict_victim(victim)
@@ -242,9 +308,20 @@ class CacheManager:
     def _find_duplicate(self, rule: Rule) -> Optional[Rule]:
         return self._by_key.get((rule.match, rule.actions))
 
-    def _select_victim(self, now: Optional[float] = None) -> Optional[Rule]:
+    def _select_victim(
+        self,
+        now: Optional[float] = None,
+        installing_class: Optional[str] = None,
+        ignore_protection: bool = False,
+    ) -> Optional[Rule]:
+        guard = bool(self._reserved) and not ignore_protection
         if self.policy is EvictionPolicy.RANDOM:
             candidates = self.cache_rules()
+            if guard:
+                candidates = [
+                    rule for rule in candidates
+                    if not self._shielded(rule, installing_class)
+                ]
             if not candidates:
                 return None
             return self._rng.choice(candidates)
@@ -252,6 +329,11 @@ class CacheManager:
             return None
         heap = self._heap
         cost = self.policy is EvictionPolicy.COST
+        # Shielded entries popped during the search are parked here and
+        # re-pushed afterwards: re-pushing a *current* key immediately
+        # would pop the same tuple again forever.
+        deferred: List[tuple] = []
+        victim: Optional[Rule] = None
         while heap:
             key, order_key, _seq, entry = heapq.heappop(heap)
             if not entry.alive:
@@ -265,11 +347,17 @@ class CacheManager:
                 if not cost:
                     self._push(entry, current)
                 continue
+            if guard and self._shielded(entry.rule, installing_class):
+                deferred.append((current, entry))
+                continue
             # Keep the heap covering every alive entry even if the caller
             # decides not to evict the returned victim.
             self._push(entry, current)
-            return entry.rule
-        return None
+            victim = entry.rule
+            break
+        for key, entry in deferred:
+            self._push(entry, key)
+        return victim
 
     # -- index maintenance (TCAM observer hooks) --------------------------------
     def _note_install(self, rule: Rule) -> None:
@@ -281,6 +369,10 @@ class CacheManager:
         self._entries[id(rule)] = entry
         self._by_key[(rule.match, rule.actions)] = rule
         self._occupancy += 1
+        if self._reserved:
+            cls = rule.flow_class
+            if cls is not None:
+                self._class_occupancy[cls] = self._class_occupancy.get(cls, 0) + 1
         if self.policy is EvictionPolicy.COST:
             ternary = rule.match.ternary
             if ternary.width:
@@ -300,6 +392,14 @@ class CacheManager:
         if self._by_key.get(key) is rule:
             del self._by_key[key]
         self._occupancy -= 1
+        if self._reserved:
+            cls = rule.flow_class
+            if cls is not None:
+                remaining = self._class_occupancy.get(cls, 0) - 1
+                if remaining > 0:
+                    self._class_occupancy[cls] = remaining
+                else:
+                    self._class_occupancy.pop(cls, None)
 
     def _note_hit(self, rule: Rule, count: int, now: Optional[float]) -> None:
         entry = self._entries.get(id(rule))
@@ -337,11 +437,14 @@ class CacheManager:
             penalty = self.refetch_penalty_ewma
         if penalty is None or penalty <= 0.0:
             penalty = self.cost_base_penalty
-        return (
+        value = (
             (entry.rate * self.cost_tau)
             * (penalty / self.cost_base_penalty)
             * (1.0 + self.cost_coverage_weight * entry.coverage)
         )
+        if self._class_weights:
+            value *= self._class_weights.get(entry.rule.flow_class, 1.0)
+        return value
 
     # -- heap -------------------------------------------------------------------
     def _sort_key(self, entry: _Entry) -> float:
@@ -419,8 +522,18 @@ class ScanCacheManager(CacheManager):
                 return existing
         return None
 
-    def _select_victim(self, now: Optional[float] = None) -> Optional[Rule]:
+    def _select_victim(
+        self,
+        now: Optional[float] = None,
+        installing_class: Optional[str] = None,
+        ignore_protection: bool = False,
+    ) -> Optional[Rule]:
         candidates = self.cache_rules()
+        if self._reserved and not ignore_protection:
+            candidates = [
+                rule for rule in candidates
+                if not self._shielded(rule, installing_class)
+            ]
         if not candidates:
             return None
         if self.policy is EvictionPolicy.LRU:

@@ -60,5 +60,5 @@ class TestCli:
     def test_registry_covers_all_ten(self):
         assert set(EXPERIMENTS) == (
             {f"E{i}" for i in range(1, 11)}
-            | {"E8C", "C1", "C2", "C2-STATIC", "M1"}
+            | {"E8C", "E9Q", "C1", "C2", "C2-STATIC", "M1"}
         )

@@ -110,13 +110,27 @@ def _run_e8c():
     return run_caching_ablation()
 
 
+def _run_e9q():
+    # Golden-scale E9: three protection modes over the same flash-crowd
+    # stream.  Pins the per-class counters, SLO summaries and the full
+    # finding sequence — the unprotected run's slo-burn/slo-exhausted
+    # findings and the protected run's clean budget are both part of the
+    # regression surface.
+    from repro.experiments.qos import run_qos_slo
+
+    return run_qos_slo()
+
+
 @pytest.mark.parametrize(
     "runner",
-    [_run_a6, _run_c1, _run_e4, _run_c2, _run_c2_static, _run_m1, _run_e8c],
+    [
+        _run_a6, _run_c1, _run_e4, _run_c2, _run_c2_static, _run_m1,
+        _run_e8c, _run_e9q,
+    ],
     ids=[
         "A6-failover-transient", "C1-chaos-soak", "E4-delay",
         "C2-rebalance-soak", "C2-static-soak", "M1-streaming-soak",
-        "E8-caching-ablation",
+        "E8-caching-ablation", "E9-qos-slo",
     ],
 )
 def test_golden_metrics(runner, run_context, update_goldens):
